@@ -1,0 +1,70 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+
+	"albadross/internal/active"
+	"albadross/internal/core"
+	"albadross/internal/dataset"
+	"albadross/internal/ml/forest"
+	"albadross/internal/ml/tree"
+	"albadross/internal/server"
+)
+
+// serve starts the annotation console (the paper's future-work
+// dashboard): it loads a dataset, builds the Fig. 2 split, trains the
+// initial model, and serves the query/label/status API plus a built-in
+// web page on -addr.
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		dataFile = fs.String("data", "", "dataset file from cmd/datagen (gob, required)")
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
+		strategy = fs.String("strategy", "uncertainty", "query strategy")
+		topK     = fs.Int("topk", 150, "chi-square feature budget")
+		seed     = fs.Int64("seed", 1, "random seed")
+		trees    = fs.Int("trees", 20, "random-forest size")
+	)
+	fs.Parse(args)
+	if *dataFile == "" {
+		usage()
+	}
+	d := loadDataset(*dataFile)
+	strat, ok := active.ByName(*strategy)
+	if !ok {
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	split, err := dataset.MakeALSplit(d, dataset.ALSplitConfig{
+		TestFraction: 0.3, AnomalyRatio: 0.10, HealthyClass: 0, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	trainIdx := append(append([]int{}, split.Initial...), split.Pool...)
+	prep, err := core.FitPreprocessor(d, trainIdx, *topK)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := prep.Transform(d)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Data:  tr,
+		Split: split,
+		Factory: forest.NewFactory(forest.Config{
+			NEstimators: *trees, MaxDepth: 8, Criterion: tree.Entropy, Seed: *seed,
+		}),
+		Strategy:     strat,
+		FeatureNames: prep.Names,
+		Seed:         *seed + 7,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("annotation console on http://%s/ (pool %d, initial %d, test %d, strategy %s)\n",
+		*addr, len(split.Pool), len(split.Initial), len(split.Test), strat.Name())
+	fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

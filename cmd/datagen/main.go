@@ -1,0 +1,137 @@
+// Command datagen generates synthetic HPC telemetry datasets (the
+// substitute for the paper's LDMS collections on Volta and Eclipse) and
+// inspects the workload catalog.
+//
+// Usage:
+//
+//	datagen -list                         # Tables I-III: apps and anomalies
+//	datagen -system volta -runs 24 -out volta.gob
+//	datagen -system eclipse -extractor mvts -out eclipse.gob
+//
+// The output is a gob-encoded dataset.Dataset of raw feature vectors
+// with provenance metadata, consumable by cmd/albadross -data.
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"albadross/internal/core"
+	"albadross/internal/features"
+	"albadross/internal/features/mvts"
+	"albadross/internal/features/tsfresh"
+	"albadross/internal/hpas"
+	"albadross/internal/telemetry"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "print the application and anomaly catalogs (Tables I-III) and exit")
+		system    = flag.String("system", "volta", "system to simulate: volta or eclipse")
+		metrics   = flag.Int("metrics", 54, "telemetry metrics per node (721/806 at paper scale)")
+		runs      = flag.Int("runs", 24, "runs per (application, input deck)")
+		steps     = flag.Int("steps", 150, "samples per run (0: system-specific durations)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		extractor = flag.String("extractor", "", "feature extractor: mvts or tsfresh (default: the system's Table V winner)")
+		out       = flag.String("out", "", "output file (gob); required unless -list")
+		workers   = flag.Int("workers", 0, "parallelism (0 = all cores)")
+	)
+	flag.Parse()
+
+	if *list {
+		printCatalogs()
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required (or use -list)")
+		os.Exit(2)
+	}
+	var sys *telemetry.SystemSpec
+	switch *system {
+	case "volta":
+		sys = telemetry.Volta(*metrics)
+	case "eclipse":
+		sys = telemetry.Eclipse(*metrics)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+	exName := *extractor
+	if exName == "" {
+		exName = "tsfresh"
+		if *system == "eclipse" {
+			exName = "mvts"
+		}
+	}
+	var ex features.Extractor
+	switch exName {
+	case "mvts":
+		ex = mvts.Extractor{}
+	case "tsfresh":
+		ex = tsfresh.Extractor{}
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown extractor %q\n", exName)
+		os.Exit(2)
+	}
+	fmt.Printf("generating %s: %d metrics, %d runs per app-input, %d steps, %s features...\n",
+		sys.Name, len(sys.Metrics), *runs, *steps, exName)
+	d, err := core.GenerateDataset(core.DataConfig{
+		System:          sys,
+		Extractor:       ex,
+		RunsPerAppInput: *runs,
+		Steps:           *steps,
+		Seed:            *seed,
+		Workers:         *workers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(d); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen: encoding:", err)
+		os.Exit(1)
+	}
+	counts := d.ClassCounts()
+	fmt.Printf("wrote %s: %d samples x %d features\n", *out, d.Len(), d.Dim())
+	for c, n := range counts {
+		fmt.Printf("  %-12s %6d\n", d.Classes[c], n)
+	}
+}
+
+func printCatalogs() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "TABLE I — applications on Volta")
+	fmt.Fprintln(w, "suite\tapplication\tdescription")
+	for _, a := range telemetry.VoltaApps() {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", a.Suite, a.Name, a.Description)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "TABLE II — applications on Eclipse")
+	fmt.Fprintln(w, "suite\tapplication\tdescription")
+	for _, a := range telemetry.EclipseApps() {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", a.Suite, a.Name, a.Description)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "TABLE III — HPAS anomalies")
+	fmt.Fprintln(w, "anomaly\tbehaviour")
+	desc := map[string]string{
+		hpas.CPUOccupy: "CPU-intensive process (arithmetic operations)",
+		hpas.CacheCopy: "cache contention (cache read & write)",
+		hpas.MemBW:     "memory bandwidth contention (uncached memory write)",
+		hpas.MemLeak:   "memory leakage (increasingly allocate & fill memory)",
+		hpas.Dial:      "CPU frequency dialing (periodic frequency reduction)",
+	}
+	for _, n := range hpas.Names() {
+		fmt.Fprintf(w, "%s\t%s\n", n, desc[n])
+	}
+	w.Flush()
+}

@@ -1,0 +1,146 @@
+// Online annotator: the deployment workflow of Sec. VI — a human in the
+// loop labeling queried samples, and the trained model persisted for
+// serving.
+//
+// By default the "human" is scripted (the oracle with a typo rate, so
+// you can see label noise propagate); pass -interactive to answer the
+// queries yourself on stdin.
+//
+//	go run ./examples/online_annotator [-interactive]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"albadross/internal/active"
+	"albadross/internal/core"
+	"albadross/internal/dataset"
+	"albadross/internal/features/mvts"
+	"albadross/internal/ml/forest"
+	"albadross/internal/ml/tree"
+	"albadross/internal/telemetry"
+)
+
+// noisyOracle is a scripted annotator that mislabels a fraction of the
+// queries, imitating human error.
+type noisyOracle struct {
+	d        *dataset.Dataset
+	rng      *rand.Rand
+	typoRate float64
+	typos    int
+}
+
+func (o *noisyOracle) Label(i int) int {
+	if o.rng.Float64() < o.typoRate {
+		o.typos++
+		return o.rng.Intn(len(o.d.Classes))
+	}
+	return o.d.Y[i]
+}
+
+// stdinAnnotator asks the terminal for each label.
+type stdinAnnotator struct {
+	d  *dataset.Dataset
+	in *bufio.Reader
+}
+
+func (a stdinAnnotator) Label(i int) int {
+	meta := a.d.Meta[i]
+	fmt.Printf("\nannotate sample %d: app=%s input=%d node=%d\n", i, meta.App, meta.Input, meta.Node)
+	for c, name := range a.d.Classes {
+		fmt.Printf("  [%d] %s\n", c, name)
+	}
+	for {
+		fmt.Print("label> ")
+		line, err := a.in.ReadString('\n')
+		if err != nil {
+			fmt.Println("\n(stdin closed; falling back to ground truth)")
+			return a.d.Y[i]
+		}
+		c, err := strconv.Atoi(strings.TrimSpace(line))
+		if err == nil && c >= 0 && c < len(a.d.Classes) {
+			return c
+		}
+		fmt.Println("enter a class index")
+	}
+}
+
+func main() {
+	interactive := flag.Bool("interactive", false, "annotate queries on stdin instead of the scripted oracle")
+	modelDir := flag.String("model", "", "optionally save the trained bundle here and reload it for serving")
+	flag.Parse()
+
+	sys := telemetry.Volta(27)
+	data, err := core.GenerateDataset(core.DataConfig{
+		System:          sys,
+		Extractor:       mvts.Extractor{},
+		RunsPerAppInput: 10,
+		Steps:           120,
+		Seed:            17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := 25
+	var annotator active.Annotator
+	var noisy *noisyOracle
+	if *interactive {
+		annotator = stdinAnnotator{d: data, in: bufio.NewReader(os.Stdin)}
+		queries = 8 // keep the interactive session short
+	} else {
+		noisy = &noisyOracle{d: data, rng: rand.New(rand.NewSource(5)), typoRate: 0.05}
+		annotator = noisy
+	}
+
+	fw, err := core.New(core.Config{
+		TopK: 80,
+		Factory: forest.NewFactory(forest.Config{
+			NEstimators: 20, MaxDepth: 8, Criterion: tree.Entropy, Seed: 1,
+		}),
+		Strategy:   active.Margin{},
+		Annotator:  nil, // set below: the annotator labels *transformed* dataset indices
+		MaxQueries: queries,
+		Seed:       23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The annotator receives indices into the transformed dataset, which
+	// shares indexing (and metadata) with the raw one.
+	fw.Cfg.Annotator = annotator
+	if err := fw.Fit(data); err != nil {
+		log.Fatal(err)
+	}
+	recs := fw.Result.Records
+	last := recs[len(recs)-1]
+	fmt.Printf("\nafter %d annotated queries: F1 %.3f, FAR %.3f, AMR %.3f\n",
+		last.Queried, last.F1, last.FalseAlarmRate, last.AnomalyMissRate)
+	if noisy != nil {
+		fmt.Printf("the scripted annotator mislabeled %d of %d queries (%.0f%% typo rate)\n",
+			noisy.typos, last.Queried, noisy.typoRate*100)
+	}
+
+	if *modelDir != "" {
+		if err := fw.Save(*modelDir); err != nil {
+			log.Fatal(err)
+		}
+		dep, err := core.LoadDeployment(*modelDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diag, err := dep.Diagnose(data.X[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("reloaded bundle from %s; sample 0 diagnosed as %s (%.2f)\n",
+			*modelDir, diag.Label, diag.Confidence)
+	}
+}

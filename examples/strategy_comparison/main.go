@@ -1,0 +1,97 @@
+// Strategy comparison: race the three query strategies and the Random /
+// Equal-App baselines on the same pools (a miniature of the paper's
+// Fig. 3) and print how many labels each needs on average to reach a
+// target F1.
+//
+//	go run ./examples/strategy_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"albadross/internal/active"
+	"albadross/internal/core"
+	"albadross/internal/dataset"
+	"albadross/internal/features/mvts"
+	"albadross/internal/ml/forest"
+	"albadross/internal/ml/tree"
+	"albadross/internal/telemetry"
+)
+
+const (
+	targetF1   = 0.92
+	maxQueries = 100
+	splits     = 3
+)
+
+func main() {
+	sys := telemetry.Volta(27)
+	data, err := core.GenerateDataset(core.DataConfig{
+		System:          sys,
+		Extractor:       mvts.Extractor{},
+		RunsPerAppInput: 12,
+		Steps:           120,
+		Seed:            3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// labels[strategy] accumulates labels-to-target per split.
+	labels := map[string][]int{}
+	endF1 := map[string][]float64{}
+	for split := 0; split < splits; split++ {
+		alSplit, err := dataset.MakeALSplit(data, dataset.ALSplitConfig{
+			TestFraction: 0.3, AnomalyRatio: 0.10, HealthyClass: 0, Seed: 11 + int64(split)*97,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		trainIdx := append(append([]int{}, alSplit.Initial...), alSplit.Pool...)
+		prep, err := core.FitPreprocessor(data, trainIdx, 80)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := prep.Transform(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		test := tr.Subset(alSplit.Test)
+		for _, name := range active.StrategyNames() {
+			strat, _ := active.ByName(name)
+			loop := &active.Loop{
+				Factory:   forest.NewFactory(forest.Config{NEstimators: 20, MaxDepth: 8, Criterion: tree.Entropy, Seed: 1}),
+				Strategy:  strat,
+				Annotator: active.Oracle{D: tr},
+				Seed:      5 + int64(split)*31,
+			}
+			res, err := loop.Run(tr, alSplit.Initial, alSplit.Pool, test, active.RunConfig{
+				MaxQueries: maxQueries, TargetF1: targetF1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			q := res.QueriesTo(targetF1)
+			if q < 0 {
+				q = maxQueries + 1 // censored at the budget
+			}
+			labels[name] = append(labels[name], len(alSplit.Initial)+q)
+			endF1[name] = append(endF1[name], res.Records[len(res.Records)-1].F1)
+		}
+	}
+
+	fmt.Printf("target F1 %.2f, %d splits, %d-query budget\n\n", targetF1, splits, maxQueries)
+	fmt.Printf("%-12s %18s %10s\n", "strategy", "mean labels to hit", "mean endF1")
+	for _, name := range active.StrategyNames() {
+		sum, f1 := 0, 0.0
+		for i, v := range labels[name] {
+			sum += v
+			f1 += endF1[name][i]
+		}
+		fmt.Printf("%-12s %18.1f %10.3f\n",
+			name, float64(sum)/float64(splits), f1/float64(splits))
+	}
+	fmt.Println("\n(>" + fmt.Sprint(maxQueries) + " labels means the budget was exhausted before the target;")
+	fmt.Println("the paper-scale comparison lives in `go run ./cmd/experiments -run fig3`.)")
+}

@@ -1,0 +1,3 @@
+module albadross
+
+go 1.22

@@ -1,0 +1,95 @@
+package active
+
+import (
+	"math/rand"
+	"testing"
+
+	"albadross/internal/ml"
+	"albadross/internal/ml/forest"
+	"albadross/internal/telemetry"
+)
+
+// splitCommittee is a two-member committee disagreeing only on sample 1.
+type splitCommittee struct{}
+
+func (splitCommittee) Fit([][]float64, []int, int) error { return nil }
+func (splitCommittee) NumClasses() int                   { return 2 }
+func (splitCommittee) PredictProba(x []float64) []float64 {
+	return []float64{0.5, 0.5}
+}
+func (splitCommittee) MemberProbas(x []float64) [][]float64 {
+	if x[0] == 1 {
+		// Members disagree: one votes class 0, the other class 1.
+		return [][]float64{{0.9, 0.1}, {0.1, 0.9}}
+	}
+	// Unanimous.
+	return [][]float64{{0.9, 0.1}, {0.8, 0.2}}
+}
+
+func TestQueryByCommitteePicksDisagreement(t *testing.T) {
+	poolX := [][]float64{{0}, {1}, {2}}
+	probs := [][]float64{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}}
+	ctx := &QueryContext{
+		Probs: probs, PoolX: poolX,
+		Meta:  make([]telemetry.RunMeta, 3),
+		Rng:   rand.New(rand.NewSource(1)),
+		Model: splitCommittee{},
+	}
+	if got := (QueryByCommittee{}).Next(ctx); got != 1 {
+		t.Fatalf("picked %d, want the disagreement sample 1", got)
+	}
+}
+
+// flatModel is not a Committee: the strategy must fall back to entropy.
+type flatModel struct{}
+
+func (flatModel) Fit([][]float64, []int, int) error { return nil }
+func (flatModel) NumClasses() int                   { return 2 }
+func (flatModel) PredictProba([]float64) []float64  { return []float64{0.5, 0.5} }
+
+func TestQueryByCommitteeFallsBackToEntropy(t *testing.T) {
+	probs := [][]float64{{0.95, 0.05}, {0.5, 0.5}}
+	ctx := &QueryContext{
+		Probs: probs,
+		PoolX: [][]float64{{0}, {1}},
+		Meta:  make([]telemetry.RunMeta, 2),
+		Rng:   rand.New(rand.NewSource(2)),
+		Model: flatModel{},
+	}
+	if got := (QueryByCommittee{}).Next(ctx); got != 1 {
+		t.Fatalf("entropy fallback picked %d, want 1", got)
+	}
+}
+
+func TestQueryByCommitteeInLoopWithForest(t *testing.T) {
+	d, initial, pool, test := buildALProblem(t, 91)
+	loop := &Loop{
+		Factory:   forest.NewFactory(forest.Config{NEstimators: 10, MaxDepth: 5, Seed: 1}),
+		Strategy:  QueryByCommittee{},
+		Annotator: Oracle{D: d},
+		Seed:      92,
+	}
+	res, err := loop.Run(d, initial, pool, test, RunConfig{MaxQueries: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Records[0], res.Records[len(res.Records)-1]
+	if !(last.F1 >= first.F1) {
+		t.Fatalf("QBC degraded F1: %v -> %v", first.F1, last.F1)
+	}
+}
+
+func TestForestIsACommittee(t *testing.T) {
+	var _ Committee = &forest.Forest{}
+	var _ ml.Classifier = &forest.Forest{}
+	s, ok := ByName("committee")
+	if !ok || s.Name() != "committee" {
+		t.Fatal("committee strategy not registered")
+	}
+	if !s.NeedsProbs() {
+		t.Fatal("committee should request probs for its fallback")
+	}
+	if ma, ok := s.(ModelAware); !ok || !ma.NeedsModel() {
+		t.Fatal("committee should request the model")
+	}
+}

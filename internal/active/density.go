@@ -1,0 +1,85 @@
+package active
+
+import "math"
+
+// FeatureAware is an optional Strategy extension: strategies that also
+// consume the raw feature vectors of the pool and the labeled set (the
+// loop fills QueryContext.PoolX / LabeledX only for these).
+type FeatureAware interface {
+	// NeedsFeatures reports whether Next reads PoolX / LabeledX.
+	NeedsFeatures() bool
+}
+
+// UncertaintyDiversity is the custom query strategy the paper's future
+// work calls for (Sec. VI): it augments classification uncertainty with
+// a diversity term so the learner does not spend consecutive queries on
+// near-duplicate samples. The score is
+//
+//	U(x) * (d_min(x, L) / d_max)^Beta
+//
+// where d_min is the Euclidean distance to the nearest already-labeled
+// sample, d_max normalizes over the pool, and Beta trades exploration
+// for exploitation (Beta 0 reduces to plain uncertainty).
+type UncertaintyDiversity struct {
+	// Beta is the diversity exponent; <= 0 defaults to 1.
+	Beta float64
+}
+
+// Name returns "uncertainty-diversity".
+func (UncertaintyDiversity) Name() string { return "uncertainty-diversity" }
+
+// NeedsProbs reports true.
+func (UncertaintyDiversity) NeedsProbs() bool { return true }
+
+// NeedsFeatures reports true.
+func (UncertaintyDiversity) NeedsFeatures() bool { return true }
+
+// Next returns the pool position maximizing the density-corrected
+// uncertainty. Without feature vectors it degrades gracefully to plain
+// uncertainty.
+func (s UncertaintyDiversity) Next(ctx *QueryContext) int {
+	beta := s.Beta
+	if beta <= 0 {
+		beta = 1
+	}
+	if len(ctx.PoolX) == 0 || len(ctx.LabeledX) == 0 {
+		return Uncertainty{}.Next(ctx)
+	}
+	dMin := make([]float64, len(ctx.PoolX))
+	dMax := 0.0
+	for i, x := range ctx.PoolX {
+		best := math.Inf(1)
+		for _, l := range ctx.LabeledX {
+			d := sqDist(x, l)
+			if d < best {
+				best = d
+			}
+		}
+		dMin[i] = math.Sqrt(best)
+		if dMin[i] > dMax {
+			dMax = dMin[i]
+		}
+	}
+	bestPos, bestScore := 0, math.Inf(-1)
+	for i, p := range ctx.Probs {
+		u := 1 - maxProb(p)
+		div := 1.0
+		if dMax > 0 {
+			div = math.Pow(dMin[i]/dMax, beta)
+		}
+		score := u * div
+		if score > bestScore {
+			bestPos, bestScore = i, score
+		}
+	}
+	return bestPos
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for j := range a {
+		d := a[j] - b[j]
+		s += d * d
+	}
+	return s
+}

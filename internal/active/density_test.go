@@ -1,0 +1,85 @@
+package active
+
+import (
+	"math/rand"
+	"testing"
+
+	"albadross/internal/ml/forest"
+	"albadross/internal/telemetry"
+)
+
+func TestUncertaintyDiversityPrefersDistantSamples(t *testing.T) {
+	// Two pool samples with identical (maximal) uncertainty; one sits on
+	// top of a labeled sample, the other far away. Diversity must pick
+	// the far one.
+	probs := [][]float64{
+		{0.5, 0.5},
+		{0.5, 0.5},
+	}
+	poolX := [][]float64{
+		{0, 0},   // duplicate of the labeled sample
+		{10, 10}, // far away
+	}
+	labeledX := [][]float64{{0, 0}}
+	ctx := &QueryContext{
+		Probs: probs, PoolX: poolX, LabeledX: labeledX,
+		Meta: make([]telemetry.RunMeta, 2), Rng: rand.New(rand.NewSource(1)),
+	}
+	if got := (UncertaintyDiversity{}).Next(ctx); got != 1 {
+		t.Fatalf("picked %d, want the distant sample 1", got)
+	}
+	// Plain uncertainty would have tied and picked index 0.
+	if got := (Uncertainty{}).Next(ctx); got != 0 {
+		t.Fatalf("uncertainty tie-break changed: %d", got)
+	}
+}
+
+func TestUncertaintyDiversityFallsBackWithoutFeatures(t *testing.T) {
+	probs := [][]float64{
+		{0.9, 0.1},
+		{0.55, 0.45},
+	}
+	ctx := &QueryContext{Probs: probs, Meta: make([]telemetry.RunMeta, 2), Rng: rand.New(rand.NewSource(2))}
+	if got := (UncertaintyDiversity{}).Next(ctx); got != 1 {
+		t.Fatalf("fallback should behave like uncertainty, picked %d", got)
+	}
+}
+
+func TestUncertaintyDiversityBetaZeroDefaults(t *testing.T) {
+	s := UncertaintyDiversity{Beta: 0}
+	probs := [][]float64{{0.5, 0.5}, {0.5, 0.5}}
+	poolX := [][]float64{{0}, {5}}
+	ctx := &QueryContext{
+		Probs: probs, PoolX: poolX, LabeledX: [][]float64{{0}},
+		Meta: make([]telemetry.RunMeta, 2), Rng: rand.New(rand.NewSource(3)),
+	}
+	if got := s.Next(ctx); got != 1 {
+		t.Fatalf("beta default should still weight diversity, picked %d", got)
+	}
+}
+
+func TestUncertaintyDiversityInLoop(t *testing.T) {
+	d, initial, pool, test := buildALProblem(t, 77)
+	loop := &Loop{
+		Factory:   forest.NewFactory(forest.Config{NEstimators: 8, MaxDepth: 5, Seed: 1}),
+		Strategy:  UncertaintyDiversity{Beta: 1},
+		Annotator: Oracle{D: d},
+		Seed:      78,
+	}
+	res, err := loop.Run(d, initial, pool, test, RunConfig{MaxQueries: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Records[0], res.Records[len(res.Records)-1]
+	if !(last.F1 >= first.F1) {
+		t.Fatalf("diversity strategy degraded F1: %v -> %v", first.F1, last.F1)
+	}
+	// The queried samples should span more than one application.
+	apps := map[string]bool{}
+	for _, r := range res.Records[1:] {
+		apps[r.App] = true
+	}
+	if len(apps) < 2 {
+		t.Fatalf("diversity queries covered only %d application(s)", len(apps))
+	}
+}

@@ -1,0 +1,232 @@
+package active
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"albadross/internal/dataset"
+	"albadross/internal/eval"
+	"albadross/internal/ml"
+	"albadross/internal/telemetry"
+)
+
+// Annotator provides the ground-truth label of a sample on request — the
+// paper's human annotator (Sec. III). The argument is a dataset index.
+type Annotator interface {
+	// Label returns the class index of the requested sample.
+	Label(datasetIndex int) int
+}
+
+// Oracle is the experimental annotator: it replays the dataset's stored
+// ground truth, exactly how the paper's evaluation reveals labels.
+type Oracle struct{ D *dataset.Dataset }
+
+// Label returns the stored ground-truth class.
+func (o Oracle) Label(i int) int { return o.D.Y[i] }
+
+// Record is one point of a query trajectory: the state after the model
+// was (re-)trained with `Queried` extra labeled samples.
+type Record struct {
+	// Queried is the number of labels obtained so far (0 for the initial
+	// model trained only on the initial labeled set).
+	Queried int
+	// DatasetIndex is the sample queried at this step (-1 on the initial
+	// record).
+	DatasetIndex int
+	// Label is the class the annotator returned (-1 initially).
+	Label int
+	// App is the queried sample's application ("" initially).
+	App string
+	// F1, FalseAlarmRate, AnomalyMissRate are test-set scores after
+	// retraining.
+	F1, FalseAlarmRate, AnomalyMissRate float64
+}
+
+// Loop runs pool-based active learning: train on the labeled set, let the
+// strategy pick a pool sample, ask the annotator, move the sample into
+// the labeled set, retrain, evaluate; repeat (Fig. 1).
+type Loop struct {
+	// Factory builds the supervised model retrained at every step.
+	Factory ml.Factory
+	// Strategy picks the next sample.
+	Strategy Strategy
+	// Annotator reveals labels.
+	Annotator Annotator
+	// HealthyClass is the class index used by FAR/AMR.
+	HealthyClass int
+	// Seed drives the strategy's randomness.
+	Seed int64
+	// EvalEvery re-evaluates on the test set every n queries (default 1).
+	// Intermediate queries still retrain the model; their records carry
+	// the last computed scores.
+	EvalEvery int
+}
+
+// RunConfig bounds one Run.
+type RunConfig struct {
+	// MaxQueries is the query budget (the paper uses up to 1000).
+	MaxQueries int
+	// TargetF1 stops the loop early once reached (0 disables; Sec. III-E).
+	TargetF1 float64
+}
+
+// Result is the outcome of one active-learning run.
+type Result struct {
+	// Records holds the trajectory, Records[0] being the initial model.
+	Records []Record
+	// Model is the final trained classifier.
+	Model ml.Classifier
+	// QueriesToTarget maps a target F1 to the number of queries first
+	// reaching it (computed lazily via QueriesTo).
+	labeled []int
+}
+
+// Labeled returns the dataset indices of the final labeled set, initial
+// samples first, then queried samples in query order.
+func (r *Result) Labeled() []int { return r.labeled }
+
+// QueriesTo returns the smallest query count whose record reached the
+// given F1, or -1 if the trajectory never did.
+func (r *Result) QueriesTo(f1 float64) int {
+	for _, rec := range r.Records {
+		if rec.F1 >= f1 {
+			return rec.Queried
+		}
+	}
+	return -1
+}
+
+// Run executes the loop. d is the active-learning training dataset;
+// initial and pool are disjoint index sets into d (Fig. 2); test is the
+// withheld evaluation set sharing d's class space.
+func (l *Loop) Run(d *dataset.Dataset, initial, pool []int, test *dataset.Dataset, cfg RunConfig) (*Result, error) {
+	if l.Factory == nil || l.Strategy == nil || l.Annotator == nil {
+		return nil, errors.New("active: Loop needs Factory, Strategy and Annotator")
+	}
+	if len(initial) == 0 {
+		return nil, errors.New("active: empty initial labeled set")
+	}
+	if test == nil || test.Len() == 0 {
+		return nil, errors.New("active: empty test set")
+	}
+	if cfg.MaxQueries < 0 {
+		return nil, fmt.Errorf("active: negative query budget %d", cfg.MaxQueries)
+	}
+	evalEvery := l.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+	rng := rand.New(rand.NewSource(l.Seed))
+	nClasses := len(d.Classes)
+
+	labeled := append([]int{}, initial...)
+	poolIdx := append([]int{}, pool...)
+	// Labels revealed so far; initial samples use the annotator too, which
+	// for the Oracle is identical to d.Y.
+	yOf := make(map[int]int, len(labeled)+len(poolIdx))
+	for _, i := range labeled {
+		yOf[i] = l.Annotator.Label(i)
+	}
+
+	train := func() (ml.Classifier, error) {
+		x := make([][]float64, len(labeled))
+		y := make([]int, len(labeled))
+		for k, i := range labeled {
+			x[k] = d.X[i]
+			y[k] = yOf[i]
+		}
+		m := l.Factory()
+		if err := m.Fit(x, y, nClasses); err != nil {
+			return nil, fmt.Errorf("active: retraining with %d labels: %w", len(labeled), err)
+		}
+		return m, nil
+	}
+	score := func(m ml.Classifier) (*eval.Report, error) {
+		return eval.EvaluateModel(m, test.X, test.Y, nClasses, l.HealthyClass)
+	}
+
+	model, err := train()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := score(model)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Model: model}
+	res.Records = append(res.Records, Record{
+		Queried: 0, DatasetIndex: -1, Label: -1,
+		F1: rep.MacroF1, FalseAlarmRate: rep.FalseAlarmRate, AnomalyMissRate: rep.AnomalyMissRate,
+	})
+	if cfg.TargetF1 > 0 && rep.MacroF1 >= cfg.TargetF1 {
+		res.labeled = labeled
+		return res, nil
+	}
+
+	for q := 0; q < cfg.MaxQueries && len(poolIdx) > 0; q++ {
+		qctx := &QueryContext{Rng: rng, Query: q}
+		qctx.Meta = metaOf(d, poolIdx)
+		if l.Strategy.NeedsProbs() {
+			probs := make([][]float64, len(poolIdx))
+			for k, i := range poolIdx {
+				probs[k] = model.PredictProba(d.X[i])
+			}
+			qctx.Probs = probs
+		}
+		if ma, ok := l.Strategy.(ModelAware); ok && ma.NeedsModel() {
+			qctx.Model = model
+		}
+		if fa, ok := l.Strategy.(FeatureAware); ok && fa.NeedsFeatures() {
+			qctx.PoolX = make([][]float64, len(poolIdx))
+			for k, i := range poolIdx {
+				qctx.PoolX[k] = d.X[i]
+			}
+			qctx.LabeledX = make([][]float64, len(labeled))
+			for k, i := range labeled {
+				qctx.LabeledX[k] = d.X[i]
+			}
+		}
+		pos := l.Strategy.Next(qctx)
+		if pos < 0 || pos >= len(poolIdx) {
+			return nil, fmt.Errorf("active: strategy %s returned pool position %d of %d", l.Strategy.Name(), pos, len(poolIdx))
+		}
+		di := poolIdx[pos]
+		poolIdx = append(poolIdx[:pos], poolIdx[pos+1:]...)
+		yOf[di] = l.Annotator.Label(di)
+		labeled = append(labeled, di)
+
+		model, err = train()
+		if err != nil {
+			return nil, err
+		}
+		rec := Record{
+			Queried: q + 1, DatasetIndex: di, Label: yOf[di], App: d.Meta[di].App,
+		}
+		if (q+1)%evalEvery == 0 || q == cfg.MaxQueries-1 {
+			rep, err = score(model)
+			if err != nil {
+				return nil, err
+			}
+		}
+		rec.F1 = rep.MacroF1
+		rec.FalseAlarmRate = rep.FalseAlarmRate
+		rec.AnomalyMissRate = rep.AnomalyMissRate
+		res.Records = append(res.Records, rec)
+		res.Model = model
+		if cfg.TargetF1 > 0 && rep.MacroF1 >= cfg.TargetF1 {
+			break
+		}
+	}
+	res.labeled = labeled
+	return res, nil
+}
+
+// metaOf gathers the metadata of the given dataset indices.
+func metaOf(d *dataset.Dataset, idx []int) []telemetry.RunMeta {
+	out := make([]telemetry.RunMeta, len(idx))
+	for k, i := range idx {
+		out[k] = d.Meta[i]
+	}
+	return out
+}

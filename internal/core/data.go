@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"albadross/internal/dataset"
+	"albadross/internal/features"
+	"albadross/internal/hpas"
+	"albadross/internal/telemetry"
+)
+
+// DataConfig describes one data-collection campaign on a simulated
+// system, mirroring Sec. IV-A/C: every application runs with every input
+// deck several times, alternating healthy runs and runs with an HPAS
+// anomaly injected on the first allocated node, cycling through anomaly
+// types and intensity settings so every (application, anomaly) pair is
+// covered.
+type DataConfig struct {
+	// System is the simulated machine (telemetry.Volta / Eclipse).
+	System *telemetry.SystemSpec
+	// Extractor computes per-metric statistical features.
+	Extractor features.Extractor
+	// RunsPerAppInput is the number of runs per (application, input deck);
+	// even runs are healthy, odd runs carry an anomaly, so values >= 10
+	// guarantee every anomaly type appears for every pair.
+	RunsPerAppInput int
+	// Steps fixes the run length in samples; 0 draws from the system's
+	// [MinSteps, MaxSteps].
+	Steps int
+	// Seed drives all randomness.
+	Seed int64
+	// Workers bounds generation/extraction parallelism; 0 = GOMAXPROCS.
+	Workers int
+}
+
+// GenerateDataset runs the campaign and returns a dataset of raw
+// (unscaled, unselected) feature vectors with full provenance metadata.
+// Classes are healthy plus the five HPAS anomalies.
+func GenerateDataset(cfg DataConfig) (*dataset.Dataset, error) {
+	if cfg.System == nil {
+		return nil, fmt.Errorf("core: DataConfig.System is nil")
+	}
+	if cfg.Extractor == nil {
+		return nil, fmt.Errorf("core: DataConfig.Extractor is nil")
+	}
+	if cfg.RunsPerAppInput <= 0 {
+		return nil, fmt.Errorf("core: RunsPerAppInput must be positive, got %d", cfg.RunsPerAppInput)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sys := cfg.System
+	injectors := hpas.All()
+	intensities := sys.Intensities
+
+	// Build the run plan deterministically.
+	type plannedRun struct {
+		cfg telemetry.RunConfig
+	}
+	var plan []plannedRun
+	runSeed := cfg.Seed
+	for ai := range sys.Apps {
+		app := &sys.Apps[ai]
+		for deck := range app.Inputs {
+			for r := 0; r < cfg.RunsPerAppInput; r++ {
+				rc := telemetry.RunConfig{
+					App:   app,
+					Input: deck,
+					Nodes: sys.NodeCounts[r%len(sys.NodeCounts)],
+					Steps: cfg.Steps,
+					Seed:  runSeed,
+				}
+				runSeed++
+				if r%2 == 1 {
+					// Anomaly types cycle with the run index; the intensity
+					// setting is decorrelated from the type by mixing in the
+					// application and deck indices, so even shallow campaigns
+					// expose every type at several intensities.
+					k := r / 2
+					rc.Injector = injectors[k%len(injectors)]
+					rc.Intensity = intensities[(k/len(injectors)+k+ai*3+deck)%len(intensities)]
+					rc.AnomalyNode = 0
+				}
+				plan = append(plan, plannedRun{cfg: rc})
+			}
+		}
+	}
+
+	// Generate runs and extract features in parallel, preserving order.
+	type runOut struct {
+		samples []*telemetry.NodeSample
+		vectors [][]float64
+		err     error
+	}
+	outs := make([]runOut, len(plan))
+	cumulative := telemetry.CumulativeFlags(sys.Metrics)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pi := range next {
+				samples, err := sys.GenerateRun(plan[pi].cfg)
+				if err != nil {
+					outs[pi].err = err
+					continue
+				}
+				vecs := make([][]float64, len(samples))
+				for si, s := range samples {
+					if err := PreprocessRun(s, cumulative); err != nil {
+						outs[pi].err = err
+						break
+					}
+					vecs[si] = features.ExtractSample(cfg.Extractor, s.Data)
+					s.Data = nil // telemetry is consumed; free the series
+				}
+				outs[pi].samples = samples
+				outs[pi].vectors = vecs
+			}
+		}()
+	}
+	for pi := range plan {
+		next <- pi
+	}
+	close(next)
+	wg.Wait()
+
+	metricNames := make([]string, len(sys.Metrics))
+	for i, m := range sys.Metrics {
+		metricNames[i] = m.Name
+	}
+	d := dataset.New(hpas.Labels())
+	d.FeatureNames = features.VectorNames(cfg.Extractor, metricNames)
+	for pi := range outs {
+		if outs[pi].err != nil {
+			return nil, fmt.Errorf("core: run %d: %w", pi, outs[pi].err)
+		}
+		for si, s := range outs[pi].samples {
+			if err := d.Add(outs[pi].vectors[si], s.Meta.Label(), s.Meta); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}

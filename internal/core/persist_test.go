@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"albadross/internal/active"
+	"albadross/internal/ml/forest"
+)
+
+func TestSaveLoadDeployment(t *testing.T) {
+	d := tinyData(t, 10)
+	fw, err := New(Config{
+		TopK:       50,
+		Factory:    forest.NewFactory(forest.Config{NEstimators: 8, MaxDepth: 6, Seed: 1}),
+		Strategy:   active.Uncertainty{},
+		MaxQueries: 10,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "bundle")
+	if err := fw.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := LoadDeployment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dep.Classes) != len(fw.Classes) {
+		t.Fatal("classes lost")
+	}
+	for i := 0; i < 20; i++ {
+		want, err := fw.DiagnoseVector(d.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dep.Diagnose(d.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Label != want.Label {
+			t.Fatalf("sample %d: label changed after reload: %s vs %s", i, got.Label, want.Label)
+		}
+		if math.Abs(got.Confidence-want.Confidence) > 1e-12 {
+			t.Fatalf("sample %d: confidence drifted: %v vs %v", i, got.Confidence, want.Confidence)
+		}
+	}
+}
+
+func TestSaveRequiresFit(t *testing.T) {
+	fw, err := New(Config{
+		Factory:  forest.NewFactory(forest.Config{NEstimators: 2}),
+		Strategy: active.Random{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Save(t.TempDir()); err == nil {
+		t.Fatal("saving an unfitted framework should error")
+	}
+}
+
+func TestLoadDeploymentMissing(t *testing.T) {
+	if _, err := LoadDeployment(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing bundle should error")
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"albadross/internal/dataset"
+	"albadross/internal/eval"
+)
+
+// AblationPoint is one (extractor, feature budget) setting's supervised
+// score.
+type AblationPoint struct {
+	Extractor string
+	TopK      int
+	F1, F1CI  float64
+}
+
+// AblationResult reproduces the feature-selection study of Sec. IV-E-1:
+// the paper sweeps the chi-square budget (250, 500, 1000, 2000, 4000,
+// all) for both extraction toolkits and picks the best combination per
+// dataset (TSFRESH-2000 on Volta, MVTS-2000 on Eclipse). This runner
+// scores a supervised random forest per setting over several splits.
+type AblationResult struct {
+	Config Config
+	Points []AblationPoint
+	// Best is the winning (extractor, topK) pair.
+	Best AblationPoint
+}
+
+// ablationBudgets returns the feature budgets swept per scale, the
+// paper's ladder clipped to the available dimensionality.
+func ablationBudgets(scale Scale) []int {
+	switch scale {
+	case Paper:
+		return []int{250, 500, 1000, 2000, 4000}
+	case Tiny:
+		return []int{20, 60, 150}
+	default:
+		return []int{50, 150, 400, 1000}
+	}
+}
+
+// RunAblation regenerates the feature-count/extractor sweep for the
+// configured system.
+func RunAblation(cfg Config, scale Scale) (*AblationResult, error) {
+	res := &AblationResult{Config: cfg}
+	for _, exName := range []string{"mvts", "tsfresh"} {
+		exCfg := cfg
+		exCfg.Extractor = exName
+		d, _, err := BuildData(exCfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, topK := range ablationBudgets(scale) {
+			if topK > d.Dim() {
+				topK = d.Dim()
+			}
+			var f1s []float64
+			for split := 0; split < cfg.Splits; split++ {
+				train, test, err := dataset.StratifiedSplit(d.Y, len(d.Classes), 0.3, cfg.Seed+int64(split)*101)
+				if err != nil {
+					return nil, err
+				}
+				p, err := prepare(d, &dataset.ALSplit{Initial: train[:1], Pool: train[1:], Test: test}, topK)
+				if err != nil {
+					return nil, err
+				}
+				var xTr [][]float64
+				var yTr []int
+				for _, i := range train {
+					xTr = append(xTr, p.tr.X[i])
+					yTr = append(yTr, p.tr.Y[i])
+				}
+				m := cfg.rfFactory(cfg.Seed + int64(split))()
+				if err := m.Fit(xTr, yTr, len(d.Classes)); err != nil {
+					return nil, err
+				}
+				rep, err := eval.EvaluateModel(m, p.test.X, p.test.Y, len(d.Classes), p.healthy)
+				if err != nil {
+					return nil, err
+				}
+				f1s = append(f1s, rep.MacroF1)
+			}
+			pt := AblationPoint{Extractor: exName, TopK: topK, F1: Mean(f1s), F1CI: CI95(f1s)}
+			res.Points = append(res.Points, pt)
+			if pt.F1 > res.Best.F1 {
+				res.Best = pt
+			}
+		}
+	}
+	return res, nil
+}
+
+// WriteCSV emits extractor,top_k,f1,f1_ci95 rows.
+func (r *AblationResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "extractor,top_k,f1,f1_ci95"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%.4f\n", p.Extractor, p.TopK, p.F1, p.F1CI); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders the sweep and the winner.
+func (r *AblationResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ABLATION (%s): supervised F1 by extractor and chi-square budget\n", r.Config.System)
+	fmt.Fprintf(&b, "  %-9s %8s %8s\n", "extractor", "top_k", "F1")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %-9s %8d %8.3f\n", p.Extractor, p.TopK, p.F1)
+	}
+	fmt.Fprintf(&b, "  best: %s with %d features (F1 %.3f)\n", r.Best.Extractor, r.Best.TopK, r.Best.F1)
+	return b.String()
+}

@@ -1,0 +1,461 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyCfg returns the smallest sensible experiment configuration; tests
+// shrink it further where possible.
+func tinyCfg(system string) Config {
+	cfg := Default(system, Tiny)
+	cfg.Splits = 2
+	cfg.MaxQueries = 12
+	cfg.RunsPerAppInput = 10
+	return cfg
+}
+
+func TestParseScale(t *testing.T) {
+	for name, want := range map[string]Scale{"tiny": Tiny, "compact": Compact, "paper": Paper} {
+		got, err := ParseScale(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("unknown scale should error")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	for _, system := range []string{"volta", "eclipse"} {
+		for _, scale := range []Scale{Tiny, Compact, Paper} {
+			cfg := Default(system, scale)
+			if cfg.Metrics <= 0 || cfg.Splits <= 0 || cfg.MaxQueries <= 0 || cfg.TopK <= 0 {
+				t.Fatalf("bad default for %s/%v: %+v", system, scale, cfg)
+			}
+		}
+	}
+	if Default("eclipse", Paper).Metrics != 806 || Default("volta", Paper).Metrics != 721 {
+		t.Fatal("paper-scale metric counts should match the paper")
+	}
+}
+
+func TestBestChoicesMatchTable5(t *testing.T) {
+	if BestExtractor("volta") != "tsfresh" || BestExtractor("eclipse") != "mvts" {
+		t.Fatal("Table V best feature-extraction methods wrong")
+	}
+	if BestStrategy("volta") != "uncertainty" || BestStrategy("eclipse") != "margin" {
+		t.Fatal("Table V best query strategies wrong")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := tinyCfg("volta")
+	cfg.System = "summit"
+	if _, _, err := BuildData(cfg); err == nil {
+		t.Fatal("unknown system should error")
+	}
+	cfg = tinyCfg("volta")
+	cfg.Extractor = "autoencoder"
+	if _, _, err := BuildData(cfg); err == nil {
+		t.Fatal("unknown extractor should error")
+	}
+}
+
+func TestMeanAndCI(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean should be NaN")
+	}
+	if CI95([]float64{5}) != 0 {
+		t.Fatal("single-value CI should be 0")
+	}
+	ci := CI95([]float64{1, 2, 3, 4})
+	if ci <= 0 {
+		t.Fatalf("CI = %v", ci)
+	}
+}
+
+func TestRunCurvesShapes(t *testing.T) {
+	cfg := tinyCfg("volta")
+	cfg.Extractor = "mvts" // cheaper than tsfresh for the test
+	r, err := RunCurves(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Figure != "fig3" {
+		t.Fatalf("figure = %s", r.Figure)
+	}
+	if len(r.Curves) != len(MethodNames()) {
+		t.Fatalf("curves = %d, want %d", len(r.Curves), len(MethodNames()))
+	}
+	for _, c := range r.Curves {
+		if len(c.Points) != cfg.MaxQueries+1 {
+			t.Fatalf("%s: points = %d, want %d", c.Method, len(c.Points), cfg.MaxQueries+1)
+		}
+		for _, p := range c.Points {
+			if p.F1 < 0 || p.F1 > 1 || p.FalseAlarm < 0 || p.FalseAlarm > 1 || p.AnomalyMiss < 0 || p.AnomalyMiss > 1 {
+				t.Fatalf("%s: score out of range: %+v", c.Method, p)
+			}
+		}
+		// Active learning should improve over the run for RF methods.
+		if c.Method != "proctor" {
+			if !(lastF1(c) >= c.Points[0].F1) {
+				t.Fatalf("%s: F1 degraded: %v -> %v", c.Method, c.Points[0].F1, lastF1(c))
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := len(MethodNames())*(cfg.MaxQueries+1) + 1
+	if len(lines) != want {
+		t.Fatalf("CSV rows = %d, want %d", len(lines), want)
+	}
+	if !strings.Contains(r.Summary(), "FIG3") {
+		t.Fatal("summary missing header")
+	}
+}
+
+func TestUncertaintyBeatsRandomInCurves(t *testing.T) {
+	// The paper's core shape on the real pipeline: uncertainty's final F1
+	// is at least random's (with a small tolerance at tiny scale).
+	cfg := tinyCfg("volta")
+	cfg.Extractor = "mvts"
+	cfg.MaxQueries = 25
+	r, err := RunCurves(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Curve{}
+	for _, c := range r.Curves {
+		byName[c.Method] = c
+	}
+	if lastF1(byName["uncertainty"])+0.03 < lastF1(byName["random"]) {
+		t.Fatalf("uncertainty end F1 %v clearly below random %v",
+			lastF1(byName["uncertainty"]), lastF1(byName["random"]))
+	}
+}
+
+func TestRunDrilldown(t *testing.T) {
+	cfg := tinyCfg("volta")
+	cfg.Extractor = "mvts"
+	r, err := RunDrilldown(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, v := range r.LabelCounts {
+		total += v
+	}
+	if math.Abs(total-10) > 1e-9 {
+		t.Fatalf("label counts sum to %v, want 10", total)
+	}
+	appTotal := 0.0
+	for _, v := range r.AppCounts {
+		appTotal += v
+	}
+	if math.Abs(appTotal-10) > 1e-9 {
+		t.Fatalf("app counts sum to %v, want 10", appTotal)
+	}
+	// The paper's observation: with no healthy samples in the initial
+	// labeled set, healthy dominates early queries.
+	if r.LabelCounts["healthy"] < 3 {
+		t.Fatalf("healthy early-query count = %v, expected the majority share", r.LabelCounts["healthy"])
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "label,healthy") {
+		t.Fatal("CSV missing healthy row")
+	}
+	if !strings.Contains(r.Summary(), "FIG4") {
+		t.Fatal("summary missing header")
+	}
+}
+
+func TestRunTable5(t *testing.T) {
+	cfg := tinyCfg("volta")
+	cfg.Extractor = "mvts"
+	cfg.MaxQueries = 20
+	r, err := RunTable5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 11 apps x 5 anomalies = 55 pairs; at tiny scale a pair can lose all
+	// of its few samples to the test split, so allow a small shortfall.
+	if r.InitialSamples < 50 || r.InitialSamples > 55 {
+		t.Fatalf("initial samples = %d, want ~55 (11 apps x 5 anomalies)", r.InitialSamples)
+	}
+	if r.StartingF1 <= 0 || r.StartingF1 >= 1 {
+		t.Fatalf("starting F1 = %v", r.StartingF1)
+	}
+	if !(r.PoolF1 > r.StartingF1) {
+		t.Fatalf("whole-pool F1 %v should beat the starting F1 %v", r.PoolF1, r.StartingF1)
+	}
+	if r.CVF1 <= 0.5 {
+		t.Fatalf("full-data CV F1 = %v, suspiciously low", r.CVF1)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "volta,mvts,uncertainty,") {
+		t.Fatalf("CSV row malformed: %s", buf.String())
+	}
+	if !strings.Contains(r.Summary(), "TABLE5") {
+		t.Fatal("summary missing header")
+	}
+}
+
+func TestRunTable4(t *testing.T) {
+	cfg := tinyCfg("volta")
+	cfg.Extractor = "mvts"
+	cfg.TopK = 40
+	r, err := RunTable4(cfg, Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("model families = %d, want 4 (LR, RF, LGBM, MLP)", len(r.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range r.Rows {
+		names[row.Model] = true
+		if row.BestF1 <= 0 || row.BestF1 > 1 {
+			t.Fatalf("%s best F1 = %v", row.Model, row.BestF1)
+		}
+		if len(row.All) < 2 {
+			t.Fatalf("%s grid has %d points", row.Model, len(row.All))
+		}
+		// Grid results sorted best-first.
+		for i := 1; i < len(row.All); i++ {
+			if row.All[i].CV.MeanF1 > row.All[i-1].CV.MeanF1+1e-12 {
+				t.Fatalf("%s grid not sorted", row.Model)
+			}
+		}
+	}
+	for _, want := range []string{"LR", "RF", "LGBM", "MLP"} {
+		if !names[want] {
+			t.Fatalf("missing model family %s", want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "model,params,cv_f1") {
+		t.Fatal("CSV header missing")
+	}
+}
+
+func TestGridsScaleWithPreset(t *testing.T) {
+	cfg := tinyCfg("volta")
+	tiny := 0
+	for _, g := range Grids(cfg, Tiny, 1) {
+		tiny += len(g.Candidates)
+	}
+	paper := 0
+	for _, g := range Grids(cfg, Paper, 1) {
+		paper += len(g.Candidates)
+	}
+	if !(paper > tiny*3) {
+		t.Fatalf("paper grid (%d) should be much larger than tiny (%d)", paper, tiny)
+	}
+	// Paper grid sizes match Table IV: 2*5 + 5*5*2 + 4*3*3*2 + 4*3*3.
+	if paper != 10+50+72+36 {
+		t.Fatalf("paper grid = %d points, want %d", paper, 10+50+72+36)
+	}
+}
+
+func TestRunFig7Shape(t *testing.T) {
+	cfg := tinyCfg("volta")
+	cfg.Extractor = "mvts"
+	cfg.Splits = 3
+	r, err := RunFig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("no points")
+	}
+	first := r.Points[0]
+	last := r.Points[len(r.Points)-1]
+	if first.NApps != 2 {
+		t.Fatalf("first point nApps = %d", first.NApps)
+	}
+	// The paper's shape: more training applications help, and the CV
+	// reference beats the 2-app case clearly.
+	if !(last.F1 >= first.F1-0.05) {
+		t.Fatalf("F1 should not degrade with more apps: %v -> %v", first.F1, last.F1)
+	}
+	if !(r.RefF1 > first.F1) {
+		t.Fatalf("CV reference %v should beat the 2-app score %v", r.RefF1, first.F1)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ref_5fold_cv") {
+		t.Fatal("CSV missing reference row")
+	}
+	if !strings.Contains(r.Summary(), "FIG7") {
+		t.Fatal("summary missing header")
+	}
+}
+
+func TestRunUnseenApps(t *testing.T) {
+	cfg := tinyCfg("volta")
+	cfg.Extractor = "mvts"
+	cfg.MaxQueries = 10
+	cfg.Splits = 2
+	r, err := RunUnseenApps(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 app counts x 2 methods.
+	if len(r.Curves) != 6 {
+		t.Fatalf("curves = %d, want 6", len(r.Curves))
+	}
+	seen := map[int]bool{}
+	for _, uc := range r.Curves {
+		seen[uc.NApps] = true
+		if len(uc.Curve.Points) == 0 {
+			t.Fatalf("empty curve for %d/%s", uc.NApps, uc.Method)
+		}
+	}
+	for _, n := range []int{2, 4, 6} {
+		if !seen[n] {
+			t.Fatalf("missing nApps=%d", n)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Summary(), "FIG6") {
+		t.Fatal("summary missing header")
+	}
+}
+
+func TestRunUnseenInputs(t *testing.T) {
+	cfg := tinyCfg("volta")
+	cfg.Extractor = "mvts"
+	cfg.MaxQueries = 10
+	cfg.Splits = 2
+	r, err := RunUnseenInputs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Curves) != 2 {
+		t.Fatalf("curves = %d, want 2 (best strategy + random)", len(r.Curves))
+	}
+	// The paper's observation: unseen inputs start much worse than the
+	// standard split; the initial FAR is high.
+	for _, c := range r.Curves {
+		if c.Points[0].F1 > 0.8 {
+			t.Fatalf("%s: unseen-input start F1 %v suspiciously high", c.Method, c.Points[0].F1)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Summary(), "FIG8") {
+		t.Fatal("summary missing header")
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	cfg := tinyCfg("volta")
+	cfg.Splits = 2
+	r, err := RunAblation(cfg, Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two extractors x three tiny budgets.
+	if len(r.Points) != 6 {
+		t.Fatalf("points = %d, want 6", len(r.Points))
+	}
+	if r.Best.F1 <= 0 || r.Best.TopK == 0 {
+		t.Fatalf("bad best point: %+v", r.Best)
+	}
+	seen := map[string]bool{}
+	for _, p := range r.Points {
+		seen[p.Extractor] = true
+		if p.F1 < 0 || p.F1 > 1 {
+			t.Fatalf("F1 out of range: %+v", p)
+		}
+	}
+	if !seen["mvts"] || !seen["tsfresh"] {
+		t.Fatal("both extractors must be swept")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "extractor,top_k,f1") {
+		t.Fatal("CSV header missing")
+	}
+	if !strings.Contains(r.Summary(), "ABLATION") {
+		t.Fatal("summary missing header")
+	}
+}
+
+func TestRunExtensions(t *testing.T) {
+	cfg := tinyCfg("volta")
+	cfg.Extractor = "mvts"
+	cfg.MaxQueries = 8
+	cfg.Splits = 1
+	r, err := RunExtensions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Curves) != 4 {
+		t.Fatalf("curves = %d, want 4", len(r.Curves))
+	}
+	names := map[string]bool{}
+	for _, c := range r.Curves {
+		names[c.Method] = true
+		if len(c.Points) != cfg.MaxQueries+1 {
+			t.Fatalf("%s: points = %d", c.Method, len(c.Points))
+		}
+	}
+	for _, want := range []string{"uncertainty", "uncertainty-diversity", "committee", "random"} {
+		if !names[want] {
+			t.Fatalf("missing method %s", want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Summary(), "EXTENSIONS") {
+		t.Fatal("summary missing header")
+	}
+}
+
+func TestRunCurvesEclipse(t *testing.T) {
+	cfg := tinyCfg("eclipse")
+	cfg.MaxQueries = 8
+	cfg.RunsPerAppInput = 10
+	r, err := RunCurves(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Figure != "fig5" {
+		t.Fatalf("figure = %s, want fig5", r.Figure)
+	}
+	// Eclipse initial labeled set: 6 apps x 5 anomalies = 30.
+	if !strings.Contains(r.Summary(), "FIG5") {
+		t.Fatal("summary missing header")
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"albadross/internal/dataset"
+)
+
+// ExtensionsResult compares this library's extension query strategies
+// (diversity-weighted uncertainty, query-by-committee) against the
+// paper's best strategy and the Random baseline on identical splits —
+// the ablation for the "custom query strategy" future-work direction
+// (Sec. VI).
+type ExtensionsResult struct {
+	Config Config
+	Curves []Curve
+}
+
+// extensionMethods returns the compared strategy names.
+func extensionMethods(system string) []string {
+	return []string{BestStrategy(system), "uncertainty-diversity", "committee", "random"}
+}
+
+// RunExtensions regenerates the extension-strategy comparison.
+func RunExtensions(cfg Config) (*ExtensionsResult, error) {
+	d, _, err := BuildData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExtensionsResult{Config: cfg}
+	methods := extensionMethods(cfg.System)
+	traj := map[string][][]float64{}
+	far := map[string][][]float64{}
+	amr := map[string][][]float64{}
+	for split := 0; split < cfg.Splits; split++ {
+		alSplit, err := dataset.MakeALSplit(d, dataset.ALSplitConfig{
+			TestFraction: 0.3, AnomalyRatio: 0.10, HealthyClass: 0,
+			Seed: cfg.Seed + int64(split)*101,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p, err := prepare(d, alSplit, cfg.TopK)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range methods {
+			r, err := methodRun(m, p, cfg, cfg.Seed+int64(split)*977+13, 0)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s split %d: %w", m, split, err)
+			}
+			f1s := make([]float64, len(r.Records))
+			fas := make([]float64, len(r.Records))
+			ams := make([]float64, len(r.Records))
+			for i, rec := range r.Records {
+				f1s[i], fas[i], ams[i] = rec.F1, rec.FalseAlarmRate, rec.AnomalyMissRate
+			}
+			traj[m] = append(traj[m], f1s)
+			far[m] = append(far[m], fas)
+			amr[m] = append(amr[m], ams)
+		}
+	}
+	for _, m := range methods {
+		res.Curves = append(res.Curves, aggregate(m, traj[m], far[m], amr[m]))
+	}
+	return res, nil
+}
+
+// WriteCSV emits the comparison series.
+func (r *ExtensionsResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "method,queried,f1,f1_ci95,false_alarm_rate,far_ci95,anomaly_miss_rate,amr_ci95"); err != nil {
+		return err
+	}
+	for _, c := range r.Curves {
+		for _, p := range c.Points {
+			if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+				c.Method, p.Queried, p.F1, p.F1CI, p.FalseAlarm, p.FalseAlarmCI, p.AnomalyMiss, p.AnomalyMsCI); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Summary renders start/end F1 and the 0.90/0.95 crossings per method.
+func (r *ExtensionsResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXTENSIONS (%s): custom query strategies vs the paper's best\n", r.Config.System)
+	fmt.Fprintf(&b, "  %-24s %8s %8s %10s %10s\n", "method", "startF1", "endF1", "to 0.90", "to 0.95")
+	for _, c := range r.Curves {
+		if len(c.Points) == 0 {
+			continue
+		}
+		first, last := c.Points[0], c.Points[len(c.Points)-1]
+		to := func(t float64) string {
+			if q := c.QueriesTo(t); q >= 0 {
+				return fmt.Sprintf("%d", q)
+			}
+			return "never"
+		}
+		fmt.Fprintf(&b, "  %-24s %8.3f %8.3f %10s %10s\n", c.Method, first.F1, last.F1, to(0.90), to(0.95))
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"albadross/internal/dataset"
+)
+
+// DrilldownResult reproduces Fig. 4: the distribution of application and
+// anomaly labels among the first-N queried samples of the best strategy,
+// averaged over splits. The paper observes that healthy dominates the
+// early queries (the initial labeled set has none) and that confusing
+// anomaly types (dial) and applications (Kripke) are queried most.
+type DrilldownResult struct {
+	Config  Config
+	Queries int
+	// LabelCounts[label] is the mean number of first-N queries whose
+	// annotator-revealed label was `label`.
+	LabelCounts map[string]float64
+	// AppCounts[app] is the mean number of first-N queries drawn from app.
+	AppCounts map[string]float64
+	// HealthyPerApp[app] is the mean number of those that were healthy.
+	HealthyPerApp map[string]float64
+}
+
+// RunDrilldown regenerates Fig. 4 with the system's best strategy for
+// the first `queries` queries (the paper uses 50 on Volta).
+func RunDrilldown(cfg Config, queries int) (*DrilldownResult, error) {
+	if queries <= 0 {
+		queries = 50
+	}
+	if queries > cfg.MaxQueries {
+		queries = cfg.MaxQueries
+	}
+	d, _, err := BuildData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &DrilldownResult{
+		Config: cfg, Queries: queries,
+		LabelCounts:   map[string]float64{},
+		AppCounts:     map[string]float64{},
+		HealthyPerApp: map[string]float64{},
+	}
+	method := BestStrategy(cfg.System)
+	for split := 0; split < cfg.Splits; split++ {
+		alSplit, err := dataset.MakeALSplit(d, dataset.ALSplitConfig{
+			TestFraction: 0.3, AnomalyRatio: 0.10, HealthyClass: 0,
+			Seed: cfg.Seed + int64(split)*101,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p, err := prepare(d, alSplit, cfg.TopK)
+		if err != nil {
+			return nil, err
+		}
+		qcfg := cfg
+		qcfg.MaxQueries = queries
+		r, err := methodRun(method, p, qcfg, cfg.Seed+int64(split)*977+13, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range r.Records[1:] { // skip the initial record
+			label := d.Classes[rec.Label]
+			res.LabelCounts[label]++
+			res.AppCounts[rec.App]++
+			if rec.Label == 0 {
+				res.HealthyPerApp[rec.App]++
+			}
+		}
+	}
+	inv := 1 / float64(cfg.Splits)
+	for k := range res.LabelCounts {
+		res.LabelCounts[k] *= inv
+	}
+	for k := range res.AppCounts {
+		res.AppCounts[k] *= inv
+	}
+	for k := range res.HealthyPerApp {
+		res.HealthyPerApp[k] *= inv
+	}
+	return res, nil
+}
+
+// sortedKeys returns map keys sorted by descending value (ties by name).
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// WriteCSV emits rows kind,name,mean_count.
+func (r *DrilldownResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "kind,name,mean_count"); err != nil {
+		return err
+	}
+	for _, k := range sortedKeys(r.LabelCounts) {
+		if _, err := fmt.Fprintf(w, "label,%s,%.2f\n", k, r.LabelCounts[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(r.AppCounts) {
+		if _, err := fmt.Fprintf(w, "app,%s,%.2f\n", k, r.AppCounts[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(r.HealthyPerApp) {
+		if _, err := fmt.Fprintf(w, "healthy_per_app,%s,%.2f\n", k, r.HealthyPerApp[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders the drill-down as two ranked lists.
+func (r *DrilldownResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIG4 (%s): labels of the first %d %s queries (mean over %d splits)\n",
+		r.Config.System, r.Queries, BestStrategy(r.Config.System), r.Config.Splits)
+	b.WriteString("  by label:\n")
+	for _, k := range sortedKeys(r.LabelCounts) {
+		fmt.Fprintf(&b, "    %-12s %6.1f\n", k, r.LabelCounts[k])
+	}
+	b.WriteString("  by application (healthy share in parentheses):\n")
+	for _, k := range sortedKeys(r.AppCounts) {
+		fmt.Fprintf(&b, "    %-12s %6.1f (%.1f healthy)\n", k, r.AppCounts[k], r.HealthyPerApp[k])
+	}
+	return b.String()
+}

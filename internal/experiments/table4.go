@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"albadross/internal/dataset"
+	"albadross/internal/eval"
+	"albadross/internal/ml/forest"
+	"albadross/internal/ml/gbm"
+	"albadross/internal/ml/linear"
+	"albadross/internal/ml/neural"
+	"albadross/internal/ml/tree"
+)
+
+// ModelGrid is one model family's hyperparameter grid (a block of
+// Table IV).
+type ModelGrid struct {
+	Model      string
+	Candidates []eval.Candidate
+}
+
+// Grids builds the Table IV hyperparameter grids, sized to the scale:
+// the Paper scale uses the full published grid; smaller scales drop the
+// most expensive settings (e.g. 1000-epoch MLPs) while keeping each
+// dimension represented.
+func Grids(cfg Config, scale Scale, seed int64) []ModelGrid {
+	var lrC, rfEst, rfDepth []float64
+	var gbmLeaves, gbmLR, gbmDepth, gbmCol []float64
+	var mlpIter []int
+	var mlpHidden [][]int
+	var mlpAlpha []float64
+	gbmRounds := 10 // boosting rounds per candidate
+	switch scale {
+	case Paper:
+		lrC = []float64{0.001, 0.01, 0.1, 1, 10}
+		rfEst = []float64{8, 10, 20, 100, 200}
+		rfDepth = []float64{0, 4, 8, 10, 20}
+		gbmLeaves = []float64{2, 8, 31, 128}
+		gbmLR = []float64{0.01, 0.1, 0.3}
+		gbmDepth = []float64{0, 2, 8}
+		gbmCol = []float64{0.5, 1.0}
+		mlpIter = []int{100, 200, 500, 1000}
+		mlpHidden = [][]int{{10, 10, 10}, {50, 100, 50}, {100}}
+		mlpAlpha = []float64{0.0001, 0.001, 0.01}
+		gbmRounds = 100
+	case Tiny:
+		lrC = []float64{0.1, 1}
+		rfEst = []float64{8, 20}
+		rfDepth = []float64{4, 8}
+		gbmLeaves = []float64{8, 31}
+		gbmLR = []float64{0.1}
+		gbmDepth = []float64{0}
+		gbmCol = []float64{1.0}
+		mlpIter = []int{30}
+		mlpHidden = [][]int{{16}}
+		mlpAlpha = []float64{0.0001, 0.01}
+		gbmRounds = 5
+	default: // Compact
+		lrC = []float64{0.01, 0.1, 1, 10}
+		rfEst = []float64{8, 20, 100}
+		rfDepth = []float64{4, 8, 0}
+		gbmLeaves = []float64{2, 8, 31}
+		gbmLR = []float64{0.01, 0.1, 0.3}
+		gbmDepth = []float64{0}
+		gbmCol = []float64{0.5}
+		mlpIter = []int{30, 60}
+		mlpHidden = [][]int{{10, 10, 10}, {100}}
+		mlpAlpha = []float64{0.0001, 0.01}
+	}
+
+	var lr []eval.Candidate
+	for _, pen := range []linear.Penalty{linear.L1, linear.L2} {
+		for _, c := range lrC {
+			lr = append(lr, eval.Candidate{
+				Params:  map[string]string{"penalty": pen.String(), "C": fmt.Sprintf("%g", c)},
+				Factory: linear.NewFactory(linear.Config{Penalty: pen, C: c, MaxIter: 200}),
+			})
+		}
+	}
+	var rf []eval.Candidate
+	for _, n := range rfEst {
+		for _, depth := range rfDepth {
+			for _, crit := range []tree.Criterion{tree.Gini, tree.Entropy} {
+				rf = append(rf, eval.Candidate{
+					Params: map[string]string{
+						"n_estimators": fmt.Sprintf("%g", n),
+						"max_depth":    depthName(int(depth)),
+						"criterion":    crit.String(),
+					},
+					Factory: forest.NewFactory(forest.Config{
+						NEstimators: int(n), MaxDepth: int(depth), Criterion: crit, Seed: seed, Workers: cfg.Workers,
+					}),
+				})
+			}
+		}
+	}
+	var gb []eval.Candidate
+	for _, leaves := range gbmLeaves {
+		for _, lrate := range gbmLR {
+			for _, depth := range gbmDepth {
+				for _, col := range gbmCol {
+					gb = append(gb, eval.Candidate{
+						Params: map[string]string{
+							"num_leaves":       fmt.Sprintf("%g", leaves),
+							"learning_rate":    fmt.Sprintf("%g", lrate),
+							"max_depth":        depthName(int(depth)),
+							"colsample_bytree": fmt.Sprintf("%g", col),
+						},
+						Factory: gbm.NewFactory(gbm.Config{
+							NEstimators: gbmRounds, NumLeaves: int(leaves), LearningRate: lrate,
+							MaxDepth: int(depth), ColsampleByTree: col, Seed: seed,
+						}),
+					})
+				}
+			}
+		}
+	}
+	var mlp []eval.Candidate
+	for _, iter := range mlpIter {
+		for _, hidden := range mlpHidden {
+			for _, alpha := range mlpAlpha {
+				h := append([]int{}, hidden...)
+				mlp = append(mlp, eval.Candidate{
+					Params: map[string]string{
+						"max_iter":           fmt.Sprintf("%d", iter),
+						"hidden_layer_sizes": fmt.Sprintf("%v", hidden),
+						"alpha":              fmt.Sprintf("%g", alpha),
+					},
+					Factory: neural.NewMLPFactory(neural.MLPConfig{
+						HiddenLayerSizes: h, MaxIter: iter, Alpha: alpha,
+						Optimizer: neural.Adam, Seed: seed,
+					}),
+				})
+			}
+		}
+	}
+	return []ModelGrid{
+		{Model: "LR", Candidates: lr},
+		{Model: "RF", Candidates: rf},
+		{Model: "LGBM", Candidates: gb},
+		{Model: "MLP", Candidates: mlp},
+	}
+}
+
+func depthName(d int) string {
+	if d == 0 {
+		return "None"
+	}
+	return fmt.Sprintf("%d", d)
+}
+
+// Table4Result reproduces Table IV: per model family, the grid-search
+// outcome (best parameters and CV F1) on the active-learning training
+// dataset.
+type Table4Result struct {
+	Config Config
+	Scale  Scale
+	// Best[model] is the winning grid point per family.
+	Rows []Table4Row
+}
+
+// Table4Row is one model family's grid-search outcome.
+type Table4Row struct {
+	Model      string
+	BestParams string
+	BestF1     float64
+	// All holds every grid point best-first.
+	All []eval.GridResult
+}
+
+// RunTable4 regenerates Table IV: grid search in 5-fold stratified CV on
+// the AL training dataset (the test split is withheld, Sec. IV-E-2).
+func RunTable4(cfg Config, scale Scale) (*Table4Result, error) {
+	d, _, err := BuildData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	alSplit, err := dataset.MakeALSplit(d, dataset.ALSplitConfig{
+		TestFraction: 0.3, AnomalyRatio: 0.10, HealthyClass: 0, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p, err := prepare(d, alSplit, cfg.TopK)
+	if err != nil {
+		return nil, err
+	}
+	trainIdx := append(append([]int{}, alSplit.Initial...), alSplit.Pool...)
+	// Grid search cost is dominated by repeated model fits; at the
+	// sub-paper scales a stratified subsample of the AL training set is
+	// enough to rank hyperparameters, so cap the row count.
+	maxRows := 0 // unlimited
+	switch scale {
+	case Tiny:
+		maxRows = 600
+	case Compact:
+		maxRows = 1000
+	}
+	if maxRows > 0 && len(trainIdx) > maxRows {
+		frac := 1 - float64(maxRows)/float64(len(trainIdx))
+		yTrain := make([]int, len(trainIdx))
+		for k, i := range trainIdx {
+			yTrain[k] = d.Y[i]
+		}
+		keep, _, err := dataset.StratifiedSplit(yTrain, len(d.Classes), frac, cfg.Seed+17)
+		if err != nil {
+			return nil, err
+		}
+		sub := make([]int, len(keep))
+		for k, pos := range keep {
+			sub[k] = trainIdx[pos]
+		}
+		trainIdx = sub
+	}
+	var x [][]float64
+	var y []int
+	for _, i := range trainIdx {
+		x = append(x, p.tr.X[i])
+		y = append(y, p.tr.Y[i])
+	}
+	res := &Table4Result{Config: cfg, Scale: scale}
+	for _, grid := range Grids(cfg, scale, cfg.Seed) {
+		results, err := eval.GridSearch(grid.Candidates, x, y, len(d.Classes), p.healthy, 5, cfg.Seed+3)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: grid %s: %w", grid.Model, err)
+		}
+		res.Rows = append(res.Rows, Table4Row{
+			Model:      grid.Model,
+			BestParams: results[0].Candidate.ParamString(),
+			BestF1:     results[0].CV.MeanF1,
+			All:        results,
+		})
+	}
+	return res, nil
+}
+
+// WriteCSV emits every grid point: model,params,cv_f1,cv_std.
+func (r *Table4Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "model,params,cv_f1,cv_std"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		for _, g := range row.All {
+			if _, err := fmt.Fprintf(w, "%s,\"%s\",%.4f,%.4f\n",
+				row.Model, g.Candidate.ParamString(), g.CV.MeanF1, g.CV.StdF1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Summary renders the per-family winners, Table IV style.
+func (r *Table4Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE4 (%s): grid search, 5-fold stratified CV on the AL training dataset\n", r.Config.System)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-5s best CV F1 %.3f with %s (%d grid points)\n",
+			row.Model, row.BestF1, row.BestParams, len(row.All))
+	}
+	return b.String()
+}

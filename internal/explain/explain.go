@@ -1,0 +1,127 @@
+// Package explain implements the paper's stated next step (Sec. VI): to
+// make the annotator's querying process intuitive by pointing out the
+// most important metrics behind a diagnosis. It combines the trained
+// random forest's mean-decrease-impurity feature importances with the
+// sample's own deviation from the scaled training range, aggregates both
+// to the telemetry-metric level ("metricName::featureName" → metric),
+// and ranks.
+package explain
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Importancer is any model exposing per-feature importances (the random
+// forest does).
+type Importancer interface {
+	FeatureImportances() []float64
+}
+
+// MetricScore is one telemetry metric's contribution to a diagnosis.
+type MetricScore struct {
+	// Metric is the telemetry channel name (e.g. "cray.mem_bw").
+	Metric string
+	// Importance is the model's aggregated feature importance across the
+	// metric's selected features (sums to <= 1 over all metrics).
+	Importance float64
+	// Deviation is the sample's importance-weighted mean absolute
+	// deviation from the scaled [0,1] training interval midpoint; high
+	// values mean the metric sits far from typical training behaviour.
+	Deviation float64
+	// Score = Importance * Deviation, the ranking key.
+	Score float64
+}
+
+// metricOf strips the "::featureName" suffix from a pipeline feature
+// name. Names without the separator map to themselves.
+func metricOf(featureName string) string {
+	if i := strings.Index(featureName, "::"); i >= 0 {
+		return featureName[:i]
+	}
+	return featureName
+}
+
+// TopMetrics ranks telemetry metrics by their contribution to the
+// model's view of one (already transformed) sample. featureNames and x
+// are parallel to the model's input columns. k bounds the result (k <= 0
+// returns every metric).
+func TopMetrics(model Importancer, featureNames []string, x []float64, k int) ([]MetricScore, error) {
+	imp := model.FeatureImportances()
+	if imp == nil {
+		return nil, errors.New("explain: model has no feature importances (not fitted?)")
+	}
+	if len(imp) != len(featureNames) || len(x) != len(featureNames) {
+		return nil, errors.New("explain: importances, names and sample must have equal length")
+	}
+	type agg struct {
+		imp, dev float64
+	}
+	byMetric := map[string]*agg{}
+	for j, name := range featureNames {
+		m := metricOf(name)
+		a := byMetric[m]
+		if a == nil {
+			a = &agg{}
+			byMetric[m] = a
+		}
+		a.imp += imp[j]
+		// Deviation of the scaled value from the training midpoint (0.5);
+		// values outside [0,1] deviate by construction. Weighted by the
+		// feature's importance so irrelevant features don't drown the
+		// signal.
+		dev := math.Abs(x[j] - 0.5)
+		a.dev += imp[j] * dev
+	}
+	out := make([]MetricScore, 0, len(byMetric))
+	for m, a := range byMetric {
+		dev := 0.0
+		if a.imp > 0 {
+			dev = a.dev / a.imp
+		}
+		out = append(out, MetricScore{
+			Metric:     m,
+			Importance: a.imp,
+			Deviation:  dev,
+			Score:      a.imp * dev,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// TopFeatures ranks individual pipeline features by global model
+// importance, the flat view TopMetrics aggregates.
+func TopFeatures(model Importancer, featureNames []string, k int) ([]MetricScore, error) {
+	imp := model.FeatureImportances()
+	if imp == nil {
+		return nil, errors.New("explain: model has no feature importances (not fitted?)")
+	}
+	if len(imp) != len(featureNames) {
+		return nil, errors.New("explain: importances and names must have equal length")
+	}
+	out := make([]MetricScore, len(featureNames))
+	for j, name := range featureNames {
+		out[j] = MetricScore{Metric: name, Importance: imp[j], Score: imp[j]}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}

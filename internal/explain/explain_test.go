@@ -1,0 +1,114 @@
+package explain
+
+import (
+	"math/rand"
+	"testing"
+
+	"albadross/internal/ml/forest"
+)
+
+// fitForest trains a forest where only feature 0 carries signal.
+func fitForest(t *testing.T) *forest.Forest {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 300; i++ {
+		c := i % 2
+		row := []float64{float64(c) + 0.1*rng.NormFloat64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		x = append(x, row)
+		y = append(y, c)
+	}
+	f := forest.New(forest.Config{NEstimators: 15, MaxDepth: 5, Seed: 2})
+	if err := f.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+var names = []string{"cpu.user::mean", "cpu.user::std", "net.rx::mean", "mem.free::mean"}
+
+func TestForestImportancesConcentrateOnSignal(t *testing.T) {
+	f := fitForest(t)
+	imp := f.FeatureImportances()
+	if len(imp) != 4 {
+		t.Fatalf("importances = %d", len(imp))
+	}
+	sum := 0.0
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("importances sum to %v", sum)
+	}
+	if imp[0] < 0.8 {
+		t.Fatalf("signal feature importance = %v, want dominant", imp[0])
+	}
+	if forest.New(forest.Config{}).FeatureImportances() != nil {
+		t.Fatal("unfitted forest should return nil importances")
+	}
+}
+
+func TestTopFeatures(t *testing.T) {
+	f := fitForest(t)
+	top, err := TopFeatures(f, names, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("top = %d", len(top))
+	}
+	if top[0].Metric != "cpu.user::mean" && top[0].Metric != "cpu.user::std" {
+		t.Fatalf("top feature = %s, expected a cpu.user feature", top[0].Metric)
+	}
+	if _, err := TopFeatures(f, names[:2], 2); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestTopMetricsAggregates(t *testing.T) {
+	f := fitForest(t)
+	// A sample far out on the signal feature.
+	x := []float64{3.0, 0.5, 0.5, 0.5}
+	top, err := TopMetrics(f, names, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Features aggregate per metric: cpu.user has two features.
+	if len(top) != 3 {
+		t.Fatalf("metrics = %d, want 3", len(top))
+	}
+	if top[0].Metric != "cpu.user" {
+		t.Fatalf("top metric = %s, want cpu.user", top[0].Metric)
+	}
+	if top[0].Score <= 0 {
+		t.Fatal("top metric should have positive score")
+	}
+	// k bounds the result.
+	top1, err := TopMetrics(f, names, x, 1)
+	if err != nil || len(top1) != 1 {
+		t.Fatalf("k=1 gave %d, %v", len(top1), err)
+	}
+}
+
+func TestTopMetricsValidation(t *testing.T) {
+	f := fitForest(t)
+	if _, err := TopMetrics(f, names, []float64{1}, 2); err == nil {
+		t.Fatal("sample width mismatch should error")
+	}
+	if _, err := TopMetrics(forest.New(forest.Config{}), names, make([]float64, 4), 2); err == nil {
+		t.Fatal("unfitted model should error")
+	}
+}
+
+func TestMetricOf(t *testing.T) {
+	if metricOf("a.b::mean") != "a.b" {
+		t.Fatal("metricOf strips feature suffix")
+	}
+	if metricOf("plain") != "plain" {
+		t.Fatal("metricOf passes through plain names")
+	}
+}

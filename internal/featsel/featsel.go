@@ -1,0 +1,243 @@
+// Package featsel implements the feature-selection stage of the pipeline
+// (Sec. III-B of the paper): dropping unusable feature columns and ranking
+// the rest with the Chi-Square statistic to keep the top-k.
+//
+// The Chi-Square scorer matches sklearn.feature_selection.chi2: for
+// non-negative feature matrices (the pipeline min-max scales features into
+// [0, 1] first) the observed counts are the per-class sums of each feature
+// and the expected counts are derived from the class frequencies; the
+// statistic is sum over classes of (observed - expected)^2 / expected. A
+// higher score means the feature is more dependent on the label and thus
+// more useful for training.
+package featsel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CleanReport describes which columns survived CleanColumns.
+type CleanReport struct {
+	// Keep[j] is true when column j survived.
+	Keep []bool
+	// Kept is the number of surviving columns.
+	Kept int
+}
+
+// CleanColumns identifies feature columns that are unusable for training:
+// columns containing any NaN/Inf and columns that are identically zero
+// (the paper drops NaN and zero features after extraction). It returns a
+// report; use Apply to project matrices onto the surviving columns.
+func CleanColumns(x [][]float64) (*CleanReport, error) {
+	if len(x) == 0 {
+		return nil, errors.New("featsel: empty matrix")
+	}
+	d := len(x[0])
+	keep := make([]bool, d)
+	for j := 0; j < d; j++ {
+		keep[j] = true
+	}
+	allZero := make([]bool, d)
+	for j := 0; j < d; j++ {
+		allZero[j] = true
+	}
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("featsel: row %d has %d cols, expected %d", i, len(row), d)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				keep[j] = false
+			}
+			if v != 0 {
+				allZero[j] = false
+			}
+		}
+	}
+	kept := 0
+	for j := 0; j < d; j++ {
+		if allZero[j] {
+			keep[j] = false
+		}
+		if keep[j] {
+			kept++
+		}
+	}
+	return &CleanReport{Keep: keep, Kept: kept}, nil
+}
+
+// Apply projects each row of x onto the report's surviving columns,
+// returning a new matrix.
+func (r *CleanReport) Apply(x [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		if len(row) != len(r.Keep) {
+			return nil, fmt.Errorf("featsel: row %d has %d cols, report expects %d", i, len(row), len(r.Keep))
+		}
+		pr := make([]float64, 0, r.Kept)
+		for j, k := range r.Keep {
+			if k {
+				pr = append(pr, row[j])
+			}
+		}
+		out[i] = pr
+	}
+	return out, nil
+}
+
+// ApplyNames projects a name slice the same way Apply projects rows.
+func (r *CleanReport) ApplyNames(names []string) ([]string, error) {
+	if len(names) != len(r.Keep) {
+		return nil, fmt.Errorf("featsel: %d names for %d columns", len(names), len(r.Keep))
+	}
+	out := make([]string, 0, r.Kept)
+	for j, k := range r.Keep {
+		if k {
+			out = append(out, names[j])
+		}
+	}
+	return out, nil
+}
+
+// Chi2Scores computes the sklearn-style chi-square score of every feature
+// column against integer class labels. Features must be non-negative
+// (min-max scale them first); a negative value is an error. Labels must be
+// in [0, nClasses). Columns whose observed counts are all zero score 0.
+func Chi2Scores(x [][]float64, y []int, nClasses int) ([]float64, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("featsel: empty matrix")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("featsel: %d labels for %d rows", len(y), n)
+	}
+	if nClasses < 2 {
+		return nil, fmt.Errorf("featsel: need at least 2 classes, got %d", nClasses)
+	}
+	d := len(x[0])
+	// classFreq[c] = fraction of samples in class c.
+	classCount := make([]float64, nClasses)
+	for i, c := range y {
+		if c < 0 || c >= nClasses {
+			return nil, fmt.Errorf("featsel: label %d at row %d outside [0,%d)", c, i, nClasses)
+		}
+		classCount[c]++
+	}
+	// observed[c][j] = sum of feature j over class c.
+	observed := make([][]float64, nClasses)
+	for c := range observed {
+		observed[c] = make([]float64, d)
+	}
+	featTotal := make([]float64, d)
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("featsel: row %d has %d cols, expected %d", i, len(row), d)
+		}
+		c := y[i]
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("featsel: negative feature value %v at row %d col %d (chi2 requires non-negative input)", v, i, j)
+			}
+			observed[c][j] += v
+			featTotal[j] += v
+		}
+	}
+	scores := make([]float64, d)
+	for j := 0; j < d; j++ {
+		if featTotal[j] == 0 {
+			scores[j] = 0
+			continue
+		}
+		s := 0.0
+		for c := 0; c < nClasses; c++ {
+			expected := featTotal[j] * classCount[c] / float64(n)
+			if expected == 0 {
+				continue
+			}
+			diff := observed[c][j] - expected
+			s += diff * diff / expected
+		}
+		scores[j] = s
+	}
+	return scores, nil
+}
+
+// Selector holds the indices of the selected top-k feature columns, in
+// descending score order.
+type Selector struct {
+	// Indices are the selected column indices of the original matrix.
+	Indices []int
+	// Scores are the chi-square scores parallel to Indices.
+	Scores []float64
+}
+
+// SelectTopK ranks columns by chi-square score and keeps the best k
+// (all columns when k >= d). Ties break toward the lower column index so
+// selection is deterministic.
+func SelectTopK(x [][]float64, y []int, nClasses, k int) (*Selector, error) {
+	scores, err := Chi2Scores(x, y, nClasses)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("featsel: k must be positive, got %d", k)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, sb := scores[idx[a]], scores[idx[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	sel := &Selector{Indices: idx[:k], Scores: make([]float64, k)}
+	for i, j := range sel.Indices {
+		sel.Scores[i] = scores[j]
+	}
+	return sel, nil
+}
+
+// Apply projects rows onto the selected columns, returning a new matrix.
+func (s *Selector) Apply(x [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		pr := make([]float64, len(s.Indices))
+		for o, j := range s.Indices {
+			if j >= len(row) {
+				return nil, fmt.Errorf("featsel: row %d has %d cols, selector needs col %d", i, len(row), j)
+			}
+			pr[o] = row[j]
+		}
+		out[i] = pr
+	}
+	return out, nil
+}
+
+// ApplyRow projects a single feature vector onto the selected columns.
+func (s *Selector) ApplyRow(row []float64) ([]float64, error) {
+	out, err := s.Apply([][]float64{row})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// ApplyNames projects a name slice onto the selected columns.
+func (s *Selector) ApplyNames(names []string) ([]string, error) {
+	out := make([]string, len(s.Indices))
+	for o, j := range s.Indices {
+		if j >= len(names) {
+			return nil, fmt.Errorf("featsel: %d names, selector needs col %d", len(names), j)
+		}
+		out[o] = names[j]
+	}
+	return out, nil
+}

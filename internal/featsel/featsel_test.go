@@ -1,0 +1,215 @@
+package featsel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanColumns(t *testing.T) {
+	x := [][]float64{
+		{1, math.NaN(), 0, 5, math.Inf(1)},
+		{2, 3, 0, 6, 1},
+	}
+	r, err := CleanColumns(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, false, true, false}
+	for j := range want {
+		if r.Keep[j] != want[j] {
+			t.Fatalf("keep[%d] = %v, want %v", j, r.Keep[j], want[j])
+		}
+	}
+	if r.Kept != 2 {
+		t.Fatalf("kept = %d, want 2", r.Kept)
+	}
+	out, err := r.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[0]) != 2 || out[0][0] != 1 || out[0][1] != 5 {
+		t.Fatalf("projected row = %v", out[0])
+	}
+	names, err := r.ApplyNames([]string{"a", "b", "c", "d", "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "a" || names[1] != "d" {
+		t.Fatalf("projected names = %v", names)
+	}
+}
+
+func TestCleanColumnsErrors(t *testing.T) {
+	if _, err := CleanColumns(nil); err == nil {
+		t.Fatal("empty matrix should error")
+	}
+	if _, err := CleanColumns([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged matrix should error")
+	}
+	r, _ := CleanColumns([][]float64{{1, 2}})
+	if _, err := r.Apply([][]float64{{1}}); err == nil {
+		t.Fatal("apply with wrong width should error")
+	}
+	if _, err := r.ApplyNames([]string{"only-one"}); err == nil {
+		t.Fatal("names with wrong width should error")
+	}
+}
+
+func TestChi2HandComputed(t *testing.T) {
+	// Two classes, balanced. Feature 0 is concentrated in class 0,
+	// feature 1 is flat.
+	x := [][]float64{
+		{4, 1},
+		{4, 1},
+		{0, 1},
+		{0, 1},
+	}
+	y := []int{0, 0, 1, 1}
+	scores, err := Chi2Scores(x, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feature 0: total 8, expected 4 per class, observed (8, 0):
+	// (8-4)^2/4 + (0-4)^2/4 = 8.
+	if math.Abs(scores[0]-8) > 1e-12 {
+		t.Fatalf("score[0] = %v, want 8", scores[0])
+	}
+	// Feature 1: perfectly flat -> 0.
+	if math.Abs(scores[1]) > 1e-12 {
+		t.Fatalf("score[1] = %v, want 0", scores[1])
+	}
+}
+
+func TestChi2Validation(t *testing.T) {
+	x := [][]float64{{1}, {2}}
+	if _, err := Chi2Scores(x, []int{0}, 2); err == nil {
+		t.Fatal("label length mismatch should error")
+	}
+	if _, err := Chi2Scores(x, []int{0, 1}, 1); err == nil {
+		t.Fatal("single class should error")
+	}
+	if _, err := Chi2Scores(x, []int{0, 5}, 2); err == nil {
+		t.Fatal("out-of-range label should error")
+	}
+	if _, err := Chi2Scores([][]float64{{-1}, {1}}, []int{0, 1}, 2); err == nil {
+		t.Fatal("negative feature should error")
+	}
+	if _, err := Chi2Scores(nil, nil, 2); err == nil {
+		t.Fatal("empty matrix should error")
+	}
+}
+
+func TestSelectTopKOrdersByScore(t *testing.T) {
+	// Three features with increasing dependence on the label.
+	x := [][]float64{
+		{1, 3, 9},
+		{1, 3, 9},
+		{1, 1, 0},
+		{1, 1, 0},
+	}
+	y := []int{0, 0, 1, 1}
+	sel, err := SelectTopK(x, y, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Indices[0] != 2 || sel.Indices[1] != 1 {
+		t.Fatalf("selected = %v, want [2 1]", sel.Indices)
+	}
+	if !(sel.Scores[0] >= sel.Scores[1]) {
+		t.Fatal("scores not descending")
+	}
+	proj, err := sel.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj[0][0] != 9 || proj[0][1] != 3 {
+		t.Fatalf("projected = %v", proj[0])
+	}
+	row, err := sel.ApplyRow([]float64{7, 8, 9})
+	if err != nil || row[0] != 9 || row[1] != 8 {
+		t.Fatalf("ApplyRow = %v, %v", row, err)
+	}
+	names, err := sel.ApplyNames([]string{"a", "b", "c"})
+	if err != nil || names[0] != "c" || names[1] != "b" {
+		t.Fatalf("ApplyNames = %v, %v", names, err)
+	}
+}
+
+func TestSelectTopKClampsAndValidates(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}}
+	y := []int{0, 1}
+	sel, err := SelectTopK(x, y, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Indices) != 2 {
+		t.Fatalf("k should clamp to 2, got %d", len(sel.Indices))
+	}
+	if _, err := SelectTopK(x, y, 2, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestQuickChi2NonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(30)
+		d := 1 + r.Intn(8)
+		k := 2 + r.Intn(3)
+		x := make([][]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			x[i] = make([]float64, d)
+			for j := range x[i] {
+				x[i][j] = r.Float64()
+			}
+			y[i] = r.Intn(k)
+		}
+		// Ensure every class appears at least once is not required by
+		// the scorer; empty classes simply contribute nothing.
+		scores, err := Chi2Scores(x, y, k)
+		if err != nil {
+			return false
+		}
+		for _, s := range scores {
+			if s < 0 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSelectionIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n, d := 30, 12
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = make([]float64, d)
+		for j := range x[i] {
+			x[i][j] = rng.Float64()
+		}
+		y[i] = rng.Intn(3)
+	}
+	a, err := SelectTopK(x, y, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectTopK(x, y, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Indices {
+		if a.Indices[i] != b.Indices[i] {
+			t.Fatal("selection not deterministic")
+		}
+	}
+}

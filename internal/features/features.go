@@ -1,0 +1,90 @@
+// Package features defines the statistical feature-extraction stage of the
+// ALBADross pipeline (Sec. III-A of the paper) and utilities for applying
+// an extractor to whole multivariate samples in parallel.
+//
+// The paper uses two open-source toolkits — MVTS (48 features per metric)
+// and TSFRESH (794 features per metric) — re-implemented here as the
+// sub-packages features/mvts and features/tsfresh. Both satisfy Extractor.
+package features
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"albadross/internal/ts"
+)
+
+// Extractor turns one metric's (cleaned) time series into a fixed-length
+// vector of statistical features.
+type Extractor interface {
+	// Name identifies the toolkit ("mvts" or "tsfresh").
+	Name() string
+	// FeatureNames lists the per-metric feature names, in the order
+	// Extract emits them.
+	FeatureNames() []string
+	// Extract computes the features of one series. The result always has
+	// len(FeatureNames()) entries; undefined features are NaN.
+	Extract(s []float64) []float64
+}
+
+// VectorNames returns the feature names of a full sample vector: the cross
+// product of metric names and per-metric feature names, in extraction
+// order ("metricName::featureName").
+func VectorNames(e Extractor, metricNames []string) []string {
+	fn := e.FeatureNames()
+	out := make([]string, 0, len(metricNames)*len(fn))
+	for _, m := range metricNames {
+		for _, f := range fn {
+			out = append(out, fmt.Sprintf("%s::%s", m, f))
+		}
+	}
+	return out
+}
+
+// ExtractSample computes the feature vector of one multivariate sample by
+// concatenating per-metric features in metric order.
+func ExtractSample(e Extractor, m *ts.Multivariate) []float64 {
+	per := len(e.FeatureNames())
+	out := make([]float64, 0, per*len(m.Metrics))
+	for _, s := range m.Metrics {
+		v := e.Extract(s)
+		if len(v) != per {
+			panic(fmt.Sprintf("features: extractor %s returned %d features, declared %d", e.Name(), len(v), per))
+		}
+		out = append(out, v...)
+	}
+	return out
+}
+
+// ExtractBatch computes feature vectors for many samples concurrently,
+// preserving input order. workers <= 0 uses GOMAXPROCS.
+func ExtractBatch(e Extractor, blocks []*ts.Multivariate, workers int) [][]float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	out := make([][]float64, len(blocks))
+	if len(blocks) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = ExtractSample(e, blocks[i])
+			}
+		}()
+	}
+	for i := range blocks {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

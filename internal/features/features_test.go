@@ -1,0 +1,80 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"albadross/internal/features/mvts"
+	"albadross/internal/features/tsfresh"
+	"albadross/internal/ts"
+)
+
+func block(vals ...[]float64) *ts.Multivariate {
+	m := &ts.Multivariate{}
+	for _, v := range vals {
+		m.Metrics = append(m.Metrics, v)
+	}
+	return m
+}
+
+func TestVectorNames(t *testing.T) {
+	e := mvts.Extractor{}
+	names := VectorNames(e, []string{"a", "b"})
+	if len(names) != 96 {
+		t.Fatalf("len = %d, want 96", len(names))
+	}
+	if names[0] != "a::mean" || names[48] != "b::mean" {
+		t.Fatalf("name layout wrong: %q, %q", names[0], names[48])
+	}
+}
+
+func TestExtractSampleConcatenates(t *testing.T) {
+	e := mvts.Extractor{}
+	m := block([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40})
+	v := ExtractSample(e, m)
+	if len(v) != 96 {
+		t.Fatalf("len = %d, want 96", len(v))
+	}
+	if v[0] != 2.5 || v[48] != 25 {
+		t.Fatalf("means = %v, %v want 2.5, 25", v[0], v[48])
+	}
+}
+
+func TestExtractBatchMatchesSequentialAndOrder(t *testing.T) {
+	e := tsfresh.Extractor{}
+	blocks := make([]*ts.Multivariate, 9)
+	for i := range blocks {
+		s1 := make([]float64, 64)
+		s2 := make([]float64, 64)
+		for j := range s1 {
+			s1[j] = float64(i*j) * 0.1
+			s2[j] = float64(j%5) + float64(i)
+		}
+		blocks[i] = block(s1, s2)
+	}
+	want := make([][]float64, len(blocks))
+	for i, bl := range blocks {
+		want[i] = ExtractSample(e, bl)
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		got := ExtractBatch(e, blocks, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: got %d rows, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			for j := range want[i] {
+				a, b := got[i][j], want[i][j]
+				if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+					t.Fatalf("workers=%d: row %d col %d: %v != %v", workers, i, j, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestExtractBatchEmpty(t *testing.T) {
+	out := ExtractBatch(mvts.Extractor{}, nil, 4)
+	if len(out) != 0 {
+		t.Fatal("empty batch should return empty")
+	}
+}

@@ -1,0 +1,123 @@
+// Package mvts reimplements the MVTS-Data Toolkit feature extractor used
+// by the paper (Ahmadzadeh et al., SoftwareX 2020): 48 statistical
+// features per metric, covering descriptive statistics, absolute
+// differences between the descriptive statistics of the first and second
+// halves of the series, and long-run trend features such as the longest
+// monotonic increase (Sec. III-A).
+package mvts
+
+import (
+	"math"
+
+	"albadross/internal/stats"
+)
+
+// Extractor computes the 48 MVTS features per metric. The zero value is
+// ready to use.
+type Extractor struct{}
+
+// Name returns "mvts".
+func (Extractor) Name() string { return "mvts" }
+
+// featureNames lists the 48 features in extraction order.
+var featureNames = []string{
+	// Descriptive statistics (20).
+	"mean", "median", "min", "max", "std", "var", "skewness", "kurtosis",
+	"range", "iqr", "q05", "q25", "q75", "q95", "mean_abs", "rms",
+	"mad", "variation_coef", "sum", "abs_energy",
+	// Change statistics (6).
+	"mean_change", "mean_abs_change", "mean_second_derivative",
+	"trend_slope", "trend_intercept", "trend_r",
+	// Distribution around the mean (7).
+	"count_above_mean", "count_below_mean", "crossings_mean",
+	"strike_above_mean", "strike_below_mean", "ratio_beyond_1sigma",
+	"binned_entropy_10",
+	// Long-run trends (2).
+	"longest_monotonic_increase", "longest_monotonic_decrease",
+	// First-half/second-half absolute differences (8).
+	"halves_abs_diff_mean", "halves_abs_diff_std", "halves_abs_diff_median",
+	"halves_abs_diff_min", "halves_abs_diff_max", "halves_abs_diff_var",
+	"halves_abs_diff_skewness", "halves_abs_diff_kurtosis",
+	// Locations and endpoints (5).
+	"argmax_ratio", "argmin_ratio", "first_value", "last_value",
+	"num_peaks_3",
+}
+
+// FeatureNames returns the 48 per-metric feature names.
+func (Extractor) FeatureNames() []string { return featureNames }
+
+// Extract computes the 48 features of one series. Features that are
+// undefined for the input (e.g. skewness of a constant series) are NaN.
+func (Extractor) Extract(s []float64) []float64 {
+	out := make([]float64, 0, len(featureNames))
+	n := len(s)
+	qs := stats.QuantilesSorted(s, 0.05, 0.25, 0.5, 0.75, 0.95)
+	mean := stats.Mean(s)
+	out = append(out,
+		mean,
+		qs[2],
+		stats.Min(s),
+		stats.Max(s),
+		stats.Std(s),
+		stats.Var(s),
+		stats.Skewness(s),
+		stats.Kurtosis(s),
+		stats.Range(s),
+		qs[3]-qs[1],
+		qs[0], qs[1], qs[3], qs[4],
+		stats.MeanAbs(s),
+		stats.RMS(s),
+		stats.MedianAbsDeviation(s),
+		stats.VariationCoefficient(s),
+		stats.Sum(s),
+		stats.AbsEnergy(s),
+	)
+	slope, intercept, r := stats.LinearTrend(s)
+	out = append(out,
+		stats.MeanChange(s),
+		stats.MeanAbsChange(s),
+		stats.MeanSecondDerivativeCentral(s),
+		slope, intercept, r,
+	)
+	out = append(out,
+		float64(stats.CountAbove(s, mean)),
+		float64(stats.CountBelow(s, mean)),
+		float64(stats.CrossingCount(s, mean)),
+		float64(stats.LongestStrikeAbove(s, mean)),
+		float64(stats.LongestStrikeBelow(s, mean)),
+		stats.RatioBeyondRSigma(s, 1),
+		stats.BinnedEntropy(s, 10),
+		float64(stats.LongestMonotonicIncrease(s)),
+		float64(stats.LongestMonotonicDecrease(s)),
+	)
+	// Halves differences.
+	if n >= 2 {
+		h1, h2 := s[:n/2], s[n/2:]
+		out = append(out,
+			math.Abs(stats.Mean(h1)-stats.Mean(h2)),
+			math.Abs(stats.Std(h1)-stats.Std(h2)),
+			math.Abs(stats.Median(h1)-stats.Median(h2)),
+			math.Abs(stats.Min(h1)-stats.Min(h2)),
+			math.Abs(stats.Max(h1)-stats.Max(h2)),
+			math.Abs(stats.Var(h1)-stats.Var(h2)),
+			math.Abs(stats.Skewness(h1)-stats.Skewness(h2)),
+			math.Abs(stats.Kurtosis(h1)-stats.Kurtosis(h2)),
+		)
+	} else {
+		for i := 0; i < 8; i++ {
+			out = append(out, math.NaN())
+		}
+	}
+	if n > 0 {
+		out = append(out,
+			float64(stats.ArgMax(s))/float64(n),
+			float64(stats.ArgMin(s))/float64(n),
+			s[0],
+			s[n-1],
+		)
+	} else {
+		out = append(out, math.NaN(), math.NaN(), math.NaN(), math.NaN())
+	}
+	out = append(out, float64(stats.NumberPeaks(s, 3)))
+	return out
+}

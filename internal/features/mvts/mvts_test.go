@@ -1,0 +1,129 @@
+package mvts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFeatureCountIs48(t *testing.T) {
+	e := Extractor{}
+	if len(e.FeatureNames()) != 48 {
+		t.Fatalf("MVTS declares %d features, paper says 48", len(e.FeatureNames()))
+	}
+	v := e.Extract([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if len(v) != 48 {
+		t.Fatalf("extract returned %d features, want 48", len(v))
+	}
+}
+
+func TestUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range (Extractor{}).FeatureNames() {
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func idx(t *testing.T, name string) int {
+	t.Helper()
+	for i, n := range (Extractor{}).FeatureNames() {
+		if n == name {
+			return i
+		}
+	}
+	t.Fatalf("no feature named %q", name)
+	return -1
+}
+
+func TestKnownValues(t *testing.T) {
+	e := Extractor{}
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	v := e.Extract(s)
+	checks := map[string]float64{
+		"mean":        4.5,
+		"min":         1,
+		"max":         8,
+		"sum":         36,
+		"range":       7,
+		"first_value": 1,
+		"last_value":  8,
+		"mean_change": 1,
+		"trend_slope": 1,
+	}
+	for name, want := range checks {
+		got := v[idx(t, name)]
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	// Monotonic series: longest increase is the whole series.
+	if got := v[idx(t, "longest_monotonic_increase")]; got != 8 {
+		t.Errorf("longest_monotonic_increase = %v, want 8", got)
+	}
+}
+
+func TestHalvesDiffs(t *testing.T) {
+	e := Extractor{}
+	// First half all 1s, second half all 5s.
+	s := []float64{1, 1, 1, 1, 5, 5, 5, 5}
+	v := e.Extract(s)
+	if got := v[idx(t, "halves_abs_diff_mean")]; math.Abs(got-4) > 1e-9 {
+		t.Fatalf("halves mean diff = %v, want 4", got)
+	}
+	if got := v[idx(t, "halves_abs_diff_std")]; math.Abs(got) > 1e-9 {
+		t.Fatalf("halves std diff = %v, want 0", got)
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	e := Extractor{}
+	v := e.Extract([]float64{3, 3, 3, 3, 3, 3})
+	if v[idx(t, "std")] != 0 || v[idx(t, "var")] != 0 {
+		t.Fatal("constant series should have zero spread")
+	}
+	if !math.IsNaN(v[idx(t, "skewness")]) {
+		t.Fatal("skewness of constant series should be NaN")
+	}
+	if v[idx(t, "binned_entropy_10")] != 0 {
+		t.Fatal("constant entropy should be 0")
+	}
+}
+
+func TestShortAndEmptySeries(t *testing.T) {
+	e := Extractor{}
+	for _, s := range [][]float64{{}, {7}, {1, 2}} {
+		v := e.Extract(s)
+		if len(v) != 48 {
+			t.Fatalf("short series %v: got %d features", s, len(v))
+		}
+	}
+	v := e.Extract([]float64{7})
+	if got := v[idx(t, "mean")]; got != 7 {
+		t.Fatalf("single-sample mean = %v", got)
+	}
+}
+
+func TestSeparatesDifferentSignals(t *testing.T) {
+	// Sanity: the feature vector of a trend differs from a flat noisy
+	// signal in trend-related features.
+	e := Extractor{}
+	rng := rand.New(rand.NewSource(1))
+	flat := make([]float64, 100)
+	trend := make([]float64, 100)
+	for i := range flat {
+		flat[i] = rng.NormFloat64()
+		trend[i] = float64(i)*0.5 + rng.NormFloat64()
+	}
+	vf := e.Extract(flat)
+	vt := e.Extract(trend)
+	si := idx(t, "trend_slope")
+	if math.Abs(vt[si]-0.5) > 0.1 {
+		t.Fatalf("trend slope = %v, want ~0.5", vt[si])
+	}
+	if math.Abs(vf[si]) > 0.1 {
+		t.Fatalf("flat slope = %v, want ~0", vf[si])
+	}
+}

@@ -1,0 +1,293 @@
+// Package hpas reimplements the observable behaviour of the HPC
+// Performance Anomaly Suite (HPAS, Ates et al., ICPP 2019), the synthetic
+// anomaly generator the paper injects next to applications (Sec. IV-C,
+// Table III).
+//
+// Real HPAS runs stressor processes (arithmetic loops, cache thrashing,
+// uncached writes, leaking allocators, CPU-frequency dialing) on a victim
+// node. The classifiers never see the stressors themselves — only their
+// footprint in node telemetry. This package therefore implements each
+// anomaly as a telemetry.Injector that perturbs the metric groups the real
+// stressor perturbs, with the same qualitative time behaviour:
+//
+//   - cpuoccupy: a steady CPU-hogging process — user time up, idle down,
+//     power up, slight cache traffic.
+//   - cachecopy: cache read/write contention — cache-miss and write-back
+//     counters inflate, some extra user time.
+//   - membw: memory-bandwidth contention via uncached writes — memory
+//     bandwidth and write-back counters inflate strongly, page activity up.
+//   - memleak: an allocator that increasingly allocates and fills memory —
+//     active/anon memory ramp up over the run, free memory ramps down,
+//     page-fault rate rises.
+//   - dial: CPU frequency oscillation — a square-wave modulation of CPU
+//     time, frequency, and power.
+//
+// Intensity in (0, 1] scales the perturbation amplitude, mirroring the
+// suite's intensity settings (Volta uses 2-100%).
+package hpas
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"albadross/internal/telemetry"
+)
+
+// Anomaly class labels, as they appear in the paper's figures.
+const (
+	CPUOccupy = "cpuoccupy"
+	CacheCopy = "cachecopy"
+	MemBW     = "membw"
+	MemLeak   = "memleak"
+	Dial      = "dial"
+)
+
+// Names returns all anomaly labels in canonical order.
+func Names() []string {
+	return []string{CPUOccupy, CacheCopy, MemBW, MemLeak, Dial}
+}
+
+// Labels returns the full diagnosis label set: healthy plus all anomalies,
+// in canonical order (healthy first).
+func Labels() []string {
+	return append([]string{telemetry.HealthyLabel}, Names()...)
+}
+
+// New returns the injector with the given name, or an error for an unknown
+// anomaly.
+func New(name string) (telemetry.Injector, error) {
+	switch strings.ToLower(name) {
+	case CPUOccupy:
+		return cpuOccupy{}, nil
+	case CacheCopy:
+		return cacheCopy{}, nil
+	case MemBW:
+		return memBW{}, nil
+	case MemLeak:
+		return memLeak{}, nil
+	case Dial:
+		return dial{}, nil
+	default:
+		known := Names()
+		sort.Strings(known)
+		return nil, fmt.Errorf("hpas: unknown anomaly %q (known: %s)", name, strings.Join(known, ", "))
+	}
+}
+
+// All returns one injector per anomaly, in canonical order.
+func All() []telemetry.Injector {
+	out := make([]telemetry.Injector, 0, len(Names()))
+	for _, n := range Names() {
+		inj, err := New(n)
+		if err != nil {
+			panic(err) // unreachable: Names() only returns known anomalies
+		}
+		out = append(out, inj)
+	}
+	return out
+}
+
+// response maps the configured intensity setting to the injectors'
+// effective perturbation scale. Real HPAS stressors are separate
+// processes whose footprint grows sub-linearly with the intensity knob (a
+// "2%" stressor still steals scheduler slots, cache lines and DRAM
+// cycles), so injectors use intensity^0.2: 2% -> 0.46, 10% -> 0.63,
+// 100% -> 1.
+func response(intensity float64) float64 {
+	if intensity <= 0 {
+		return 0
+	}
+	return math.Pow(intensity, 0.2)
+}
+
+// kindOf extracts the metric kind ("user", "free", ...) from an LDMS-style
+// metric name "subsystem.kind[.instance]".
+func kindOf(m telemetry.Metric) string {
+	parts := strings.Split(m.Name, ".")
+	if len(parts) < 2 {
+		return m.Name
+	}
+	return parts[1]
+}
+
+// identity is the no-perturbation return.
+func identity() (float64, float64) { return 1, 0 }
+
+// cpuOccupy models a CPU-intensive interloper process performing
+// arithmetic operations (Table III row 1).
+type cpuOccupy struct{}
+
+func (cpuOccupy) Name() string { return CPUOccupy }
+
+func (cpuOccupy) Modulate(m telemetry.Metric, t, steps int, intensity float64) (float64, float64) {
+	intensity = response(intensity)
+	switch m.Subsystem {
+	case telemetry.CPU:
+		switch kindOf(m) {
+		case "user":
+			return 1, 0.9 * intensity // steal cycles: user time up
+		case "idle":
+			return 1 - 0.85*intensity, 0 // idle headroom shrinks
+		case "sys":
+			return 1 + 0.6*intensity, 0 // scheduler overhead
+		case "freq":
+			return 1, 0 // frequency steady
+		default:
+			return 1 + 0.05*intensity, 0
+		}
+	case telemetry.Cray:
+		if kindOf(m) == "power" {
+			return 1, 0.45 * intensity // package power rises
+		}
+		return 1 + 0.08*intensity, 0
+	default:
+		return identity()
+	}
+}
+
+// cacheCopy models cache read & write contention (Table III row 2).
+type cacheCopy struct{}
+
+func (cacheCopy) Name() string { return CacheCopy }
+
+func (cacheCopy) Modulate(m telemetry.Metric, t, steps int, intensity float64) (float64, float64) {
+	intensity = response(intensity)
+	switch m.Subsystem {
+	case telemetry.Cray:
+		switch kindOf(m) {
+		case "cache_miss":
+			return 1 + 2.2*intensity, 0.3 * intensity
+		case "wb_flits":
+			return 1 + 1.4*intensity, 0.2 * intensity
+		case "power":
+			return 1, 0.12 * intensity
+		default:
+			return 1 + 0.3*intensity, 0
+		}
+	case telemetry.CPU:
+		switch kindOf(m) {
+		case "user":
+			return 1, 0.15 * intensity
+		case "idle":
+			return 1 - 0.2*intensity, 0
+		default:
+			return identity()
+		}
+	default:
+		return identity()
+	}
+}
+
+// memBW models memory-bandwidth contention through uncached memory writes
+// (Table III row 3).
+type memBW struct{}
+
+func (memBW) Name() string { return MemBW }
+
+func (memBW) Modulate(m telemetry.Metric, t, steps int, intensity float64) (float64, float64) {
+	intensity = response(intensity)
+	switch m.Subsystem {
+	case telemetry.Cray:
+		switch kindOf(m) {
+		case "mem_bw":
+			return 1 + 2.8*intensity, 0.5 * intensity
+		case "wb_flits":
+			return 1 + 2.0*intensity, 0.3 * intensity
+		case "power":
+			return 1, 0.18 * intensity
+		default:
+			return 1 + 0.2*intensity, 0
+		}
+	case telemetry.VMStat:
+		switch kindOf(m) {
+		case "nr_writeback", "pgpgout":
+			return 1 + 1.2*intensity, 0.1 * intensity
+		default:
+			return 1 + 0.3*intensity, 0
+		}
+	case telemetry.CPU:
+		if kindOf(m) == "idle" {
+			return 1 - 0.15*intensity, 0
+		}
+		return identity()
+	default:
+		return identity()
+	}
+}
+
+// memLeak models a process that increasingly allocates and fills memory
+// (Table III row 4). Its footprint grows linearly over the run.
+type memLeak struct{}
+
+func (memLeak) Name() string { return MemLeak }
+
+func (memLeak) Modulate(m telemetry.Metric, t, steps int, intensity float64) (float64, float64) {
+	intensity = response(intensity)
+	frac := 0.0
+	if steps > 1 {
+		frac = float64(t) / float64(steps-1) // leak grows with time
+	}
+	grow := intensity * frac
+	switch m.Subsystem {
+	case telemetry.Memory:
+		switch kindOf(m) {
+		case "free":
+			return math.Max(0.05, 1-0.8*grow), 0 // free memory drains
+		case "active", "anon":
+			return 1, 0.7 * grow // resident set climbs
+		case "cached":
+			return math.Max(0.2, 1-0.3*grow), 0 // page cache evicted
+		default:
+			return 1 + 0.1*grow, 0
+		}
+	case telemetry.VMStat:
+		if kindOf(m) == "pgfault" {
+			return 1 + 0.8*intensity, 0.05 * grow
+		}
+		return 1 + 0.2*grow, 0
+	default:
+		return identity()
+	}
+}
+
+// dialPeriod is the square-wave period of the dial anomaly in samples.
+const dialPeriod = 30
+
+// dial models CPU-frequency dialing: the victim core's frequency (and with
+// it effective compute throughput and power) oscillates between nominal
+// and a reduced setting.
+type dial struct{}
+
+func (dial) Name() string { return Dial }
+
+func (dial) Modulate(m telemetry.Metric, t, steps int, intensity float64) (float64, float64) {
+	intensity = response(intensity)
+	// Square wave: low half / high half of each period.
+	low := (t/(dialPeriod/2))%2 == 0
+	depth := 0.6 * intensity
+	if !low {
+		depth = 0
+	}
+	switch m.Subsystem {
+	case telemetry.CPU:
+		switch kindOf(m) {
+		case "freq":
+			return 1 - depth, 0
+		case "user":
+			return 1 - 0.8*depth, 0 // less work retired per second
+		case "idle":
+			return 1 + 0.6*depth, 0
+		default:
+			return 1 - 0.3*depth, 0
+		}
+	case telemetry.Cray:
+		if kindOf(m) == "power" {
+			return 1 - 0.7*depth, 0
+		}
+		return 1 - 0.2*depth, 0
+	default:
+		return identity()
+	}
+}

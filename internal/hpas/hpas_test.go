@@ -1,0 +1,212 @@
+package hpas
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"albadross/internal/telemetry"
+)
+
+func metricByName(schema []telemetry.Metric, substr string) telemetry.Metric {
+	for _, m := range schema {
+		if strings.Contains(m.Name, substr) {
+			return m
+		}
+	}
+	panic("metric not found: " + substr)
+}
+
+func TestNewKnownAndUnknown(t *testing.T) {
+	for _, n := range Names() {
+		inj, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%q): %v", n, err)
+		}
+		if inj.Name() != n {
+			t.Fatalf("Name() = %q, want %q", inj.Name(), n)
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("unknown anomaly should error")
+	}
+	// Case-insensitive lookup.
+	if _, err := New("MemLeak"); err != nil {
+		t.Fatalf("case-insensitive lookup failed: %v", err)
+	}
+}
+
+func TestAllAndLabels(t *testing.T) {
+	if len(All()) != 5 {
+		t.Fatalf("All() = %d injectors, want 5", len(All()))
+	}
+	labels := Labels()
+	if labels[0] != telemetry.HealthyLabel || len(labels) != 6 {
+		t.Fatalf("Labels() = %v", labels)
+	}
+}
+
+func TestZeroIntensityIsNearIdentity(t *testing.T) {
+	schema := telemetry.BuildSchema(27)
+	for _, inj := range All() {
+		for _, m := range schema {
+			for _, tt := range []int{0, 50, 199} {
+				mul, add := inj.Modulate(m, tt, 200, 0)
+				if math.Abs(mul-1) > 1e-12 || math.Abs(add) > 1e-12 {
+					t.Fatalf("%s on %s at zero intensity: mul=%v add=%v", inj.Name(), m.Name, mul, add)
+				}
+			}
+		}
+	}
+}
+
+func TestIntensityMonotonicity(t *testing.T) {
+	// Higher intensity never produces a weaker perturbation magnitude.
+	schema := telemetry.BuildSchema(27)
+	for _, inj := range All() {
+		for _, m := range schema {
+			prev := 0.0
+			for _, in := range []float64{0.02, 0.1, 0.5, 1.0} {
+				mul, add := inj.Modulate(m, 150, 200, in)
+				mag := math.Abs(mul-1) + math.Abs(add)
+				if mag+1e-12 < prev {
+					t.Fatalf("%s on %s: perturbation shrank from %v to %v at intensity %v",
+						inj.Name(), m.Name, prev, mag, in)
+				}
+				prev = mag
+			}
+		}
+	}
+}
+
+func TestCPUOccupyFootprint(t *testing.T) {
+	schema := telemetry.BuildSchema(27)
+	inj, _ := New(CPUOccupy)
+	user := metricByName(schema, "cpu.user")
+	idle := metricByName(schema, "cpu.idle")
+	net := metricByName(schema, "network.rx_packets")
+	_, addU := inj.Modulate(user, 10, 100, 1)
+	if addU <= 0 {
+		t.Fatal("cpuoccupy should add user time")
+	}
+	mulI, _ := inj.Modulate(idle, 10, 100, 1)
+	if mulI >= 1 {
+		t.Fatal("cpuoccupy should reduce idle time")
+	}
+	mulN, addN := inj.Modulate(net, 10, 100, 1)
+	if mulN != 1 || addN != 0 {
+		t.Fatal("cpuoccupy must not touch network metrics")
+	}
+}
+
+func TestMemLeakGrowsOverTime(t *testing.T) {
+	schema := telemetry.BuildSchema(27)
+	inj, _ := New(MemLeak)
+	active := metricByName(schema, "meminfo.active")
+	free := metricByName(schema, "meminfo.free")
+	_, addEarly := inj.Modulate(active, 0, 100, 1)
+	_, addLate := inj.Modulate(active, 99, 100, 1)
+	if !(addLate > addEarly) {
+		t.Fatalf("leak should grow: early=%v late=%v", addEarly, addLate)
+	}
+	mulFreeEarly, _ := inj.Modulate(free, 0, 100, 1)
+	mulFreeLate, _ := inj.Modulate(free, 99, 100, 1)
+	if !(mulFreeLate < mulFreeEarly) {
+		t.Fatal("free memory should drain over time")
+	}
+	if mulFreeLate <= 0 {
+		t.Fatal("free memory multiplier must stay positive")
+	}
+}
+
+func TestDialOscillates(t *testing.T) {
+	schema := telemetry.BuildSchema(27)
+	inj, _ := New(Dial)
+	freq := metricByName(schema, "cpu.freq")
+	seen := map[float64]bool{}
+	for tt := 0; tt < 120; tt++ {
+		mul, _ := inj.Modulate(freq, tt, 120, 1)
+		seen[mul] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("dial should oscillate between at least two levels")
+	}
+	lo := 2.0
+	for v := range seen {
+		if v < lo {
+			lo = v
+		}
+	}
+	if lo >= 1 {
+		t.Fatal("dial should sometimes reduce frequency")
+	}
+}
+
+func TestMemBWAndCacheCopyTargetCray(t *testing.T) {
+	schema := telemetry.BuildSchema(27)
+	bw := metricByName(schema, "cray.mem_bw")
+	miss := metricByName(schema, "cray.cache_miss")
+	injBW, _ := New(MemBW)
+	injCC, _ := New(CacheCopy)
+	mul, _ := injBW.Modulate(bw, 10, 100, 1)
+	if mul < 2 {
+		t.Fatalf("membw should strongly inflate mem_bw, mul=%v", mul)
+	}
+	mul, _ = injCC.Modulate(miss, 10, 100, 1)
+	if mul < 2 {
+		t.Fatalf("cachecopy should strongly inflate cache_miss, mul=%v", mul)
+	}
+	// The two anomalies must be distinguishable: their strongest metric
+	// differs.
+	mulBWonMiss, _ := injBW.Modulate(miss, 10, 100, 1)
+	mulCConBW, _ := injCC.Modulate(bw, 10, 100, 1)
+	if mulBWonMiss >= mul || mulCConBW >= 2 {
+		t.Fatal("membw and cachecopy footprints overlap too much")
+	}
+}
+
+func TestEndToEndInjection(t *testing.T) {
+	// Inject each anomaly into a run and confirm the victim node differs
+	// from a healthy node more than two healthy nodes differ from each
+	// other.
+	sys := telemetry.Volta(27)
+	for _, inj := range All() {
+		cfg := telemetry.RunConfig{
+			App: sys.App("Kripke"), Input: 0, Nodes: 3, Steps: 300,
+			Injector: inj, Intensity: 1, AnomalyNode: 0, Seed: 21,
+		}
+		samples, err := sys.GenerateRun(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist := func(a, b int) float64 {
+			d := 0.0
+			for mi := range sys.Metrics {
+				sa, sb := samples[a].Data.Metrics[mi], samples[b].Data.Metrics[mi]
+				var ma, mb, na, nb float64
+				for _, v := range sa {
+					if !math.IsNaN(v) {
+						ma += v
+						na++
+					}
+				}
+				for _, v := range sb {
+					if !math.IsNaN(v) {
+						mb += v
+						nb++
+					}
+				}
+				ma, mb = ma/na, mb/nb
+				rel := math.Abs(ma-mb) / (math.Abs(ma) + math.Abs(mb) + 1e-12)
+				d += rel
+			}
+			return d
+		}
+		anomalousDist := dist(0, 1)
+		healthyDist := dist(1, 2)
+		if !(anomalousDist > healthyDist) {
+			t.Fatalf("%s: anomalous distance %v not above healthy-healthy %v",
+				inj.Name(), anomalousDist, healthyDist)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package ldms reads and writes node telemetry in the CSV layout of the
+// Lightweight Distributed Metric Service's csv store, the monitoring
+// framework the paper collects data with (Sec. IV-B). It is the bridge
+// between this repository's simulator and real deployments: telemetry
+// captured from an actual LDMS daemon can be loaded into the same
+// pipeline, and simulated runs can be exported for inspection.
+//
+// The on-disk format per node sample is
+//
+//	#meta system=volta app=CG input=1 nodes=4 node=0 anomaly=healthy intensity=0
+//	#Time,cpu.user,cpu.idle,...
+//	0,123.4,98.1,...
+//	1,,97.2,...          <- empty cells are missing samples (NaN)
+//
+// matching LDMS conventions: a header row naming the metric columns, one
+// row per sampling interval, and a leading timestamp column. The #meta
+// comment carries the run provenance this repository tracks.
+package ldms
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"albadross/internal/telemetry"
+	"albadross/internal/ts"
+)
+
+// WriteCSV serializes one node sample. The schema provides the column
+// names; its length must match the sample's metric count.
+func WriteCSV(w io.Writer, s *telemetry.NodeSample, schema []telemetry.Metric) error {
+	if s == nil || s.Data == nil {
+		return errors.New("ldms: nil sample")
+	}
+	if len(schema) != len(s.Data.Metrics) {
+		return fmt.Errorf("ldms: schema has %d metrics, sample has %d", len(schema), len(s.Data.Metrics))
+	}
+	bw := bufio.NewWriter(w)
+	meta := s.Meta
+	fmt.Fprintf(bw, "#meta system=%s app=%s input=%d nodes=%d node=%d anomaly=%s intensity=%g runid=%d\n",
+		meta.System, meta.App, meta.Input, meta.Nodes, meta.Node, meta.Anomaly, meta.Intensity, meta.RunID)
+	bw.WriteString("#Time")
+	for _, m := range schema {
+		bw.WriteByte(',')
+		bw.WriteString(m.Name)
+	}
+	bw.WriteByte('\n')
+	steps := s.Data.Steps()
+	for t := 0; t < steps; t++ {
+		bw.WriteString(strconv.Itoa(t))
+		for mi := range schema {
+			bw.WriteByte(',')
+			v := s.Data.Metrics[mi][t]
+			if !math.IsNaN(v) {
+				bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses one node sample. When schema is non-nil the file's
+// columns must match it exactly (names and order); with a nil schema the
+// columns are taken as-is and returned.
+func ReadCSV(r io.Reader, schema []telemetry.Metric) (*telemetry.NodeSample, []string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var meta telemetry.RunMeta
+	var cols []string
+	var rows [][]float64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r")
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "#meta "):
+			var err error
+			meta, err = parseMeta(strings.TrimPrefix(line, "#meta "))
+			if err != nil {
+				return nil, nil, fmt.Errorf("ldms: line %d: %w", lineNo, err)
+			}
+		case strings.HasPrefix(line, "#Time"):
+			parts := strings.Split(line, ",")
+			cols = parts[1:]
+			if schema != nil {
+				if len(cols) != len(schema) {
+					return nil, nil, fmt.Errorf("ldms: file has %d metric columns, schema expects %d", len(cols), len(schema))
+				}
+				for i, m := range schema {
+					if cols[i] != m.Name {
+						return nil, nil, fmt.Errorf("ldms: column %d is %q, schema expects %q", i, cols[i], m.Name)
+					}
+				}
+			}
+		case strings.HasPrefix(line, "#"):
+			// Other comments are ignored.
+		default:
+			if cols == nil {
+				return nil, nil, fmt.Errorf("ldms: line %d: data before #Time header", lineNo)
+			}
+			parts := strings.Split(line, ",")
+			if len(parts) != len(cols)+1 {
+				return nil, nil, fmt.Errorf("ldms: line %d: %d fields, expected %d", lineNo, len(parts), len(cols)+1)
+			}
+			row := make([]float64, len(cols))
+			for i, cell := range parts[1:] {
+				if cell == "" {
+					row[i] = math.NaN()
+					continue
+				}
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("ldms: line %d col %d: %w", lineNo, i+2, err)
+				}
+				row[i] = v
+			}
+			rows = append(rows, row)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if cols == nil {
+		return nil, nil, errors.New("ldms: missing #Time header")
+	}
+	if len(rows) == 0 {
+		return nil, nil, errors.New("ldms: no samples")
+	}
+	data := ts.NewMultivariate(len(cols), len(rows))
+	for t, row := range rows {
+		for mi, v := range row {
+			data.Metrics[mi][t] = v
+		}
+	}
+	return &telemetry.NodeSample{Meta: meta, Data: data}, cols, nil
+}
+
+// parseMeta decodes the space-separated key=value provenance line.
+func parseMeta(s string) (telemetry.RunMeta, error) {
+	var meta telemetry.RunMeta
+	for _, kv := range strings.Fields(s) {
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			return meta, fmt.Errorf("malformed meta field %q", kv)
+		}
+		key, val := kv[:eq], kv[eq+1:]
+		var err error
+		switch key {
+		case "system":
+			meta.System = val
+		case "app":
+			meta.App = val
+		case "anomaly":
+			meta.Anomaly = val
+		case "input":
+			meta.Input, err = strconv.Atoi(val)
+		case "nodes":
+			meta.Nodes, err = strconv.Atoi(val)
+		case "node":
+			meta.Node, err = strconv.Atoi(val)
+		case "runid":
+			meta.RunID, err = strconv.ParseInt(val, 10, 64)
+		case "intensity":
+			meta.Intensity, err = strconv.ParseFloat(val, 64)
+		default:
+			// Unknown keys are tolerated for forward compatibility.
+		}
+		if err != nil {
+			return meta, fmt.Errorf("meta field %q: %w", kv, err)
+		}
+	}
+	return meta, nil
+}
+
+// WriteRunDir stores one CSV file per node sample under dir, named
+// node<N>.csv.
+func WriteRunDir(dir string, samples []*telemetry.NodeSample, schema []telemetry.Metric) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		path := filepath.Join(dir, fmt.Sprintf("node%d.csv", s.Meta.Node))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := WriteCSV(f, s, schema); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRunDir loads every node<N>.csv under dir, sorted by node index.
+func ReadRunDir(dir string, schema []telemetry.Metric) ([]*telemetry.NodeSample, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var samples []*telemetry.NodeSample
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), "node") || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		s, _, err := ReadCSV(f, schema)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("ldms: %s: %w", e.Name(), err)
+		}
+		samples = append(samples, s)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("ldms: no node*.csv files in %s", dir)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Meta.Node < samples[j].Meta.Node })
+	return samples, nil
+}

@@ -1,0 +1,156 @@
+package ldms
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"albadross/internal/telemetry"
+)
+
+func sampleRun(t *testing.T) ([]*telemetry.NodeSample, *telemetry.SystemSpec) {
+	t.Helper()
+	sys := telemetry.Volta(27)
+	samples, err := sys.GenerateRun(telemetry.RunConfig{
+		App: sys.App("LU"), Input: 1, Nodes: 2, Steps: 100, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples, sys
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	samples, sys := sampleRun(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, samples[0], sys.Metrics); err != nil {
+		t.Fatal(err)
+	}
+	back, cols, err := ReadCSV(bytes.NewReader(buf.Bytes()), sys.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != len(sys.Metrics) {
+		t.Fatalf("columns = %d", len(cols))
+	}
+	if back.Meta != samples[0].Meta {
+		t.Fatalf("meta mismatch: %+v vs %+v", back.Meta, samples[0].Meta)
+	}
+	if back.Data.Steps() != samples[0].Data.Steps() {
+		t.Fatalf("steps = %d, want %d", back.Data.Steps(), samples[0].Data.Steps())
+	}
+	for mi := range sys.Metrics {
+		for ti := range back.Data.Metrics[mi] {
+			a := back.Data.Metrics[mi][ti]
+			b := samples[0].Data.Metrics[mi][ti]
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				t.Fatalf("metric %d step %d: %v vs %v", mi, ti, a, b)
+			}
+		}
+	}
+}
+
+func TestReadCSVWithoutSchema(t *testing.T) {
+	in := "#Time,cpu.user,mem.free\n0,1.5,2e9\n1,,2.1e9\n"
+	s, cols, err := ReadCSV(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0] != "cpu.user" {
+		t.Fatalf("cols = %v", cols)
+	}
+	if s.Data.Steps() != 2 {
+		t.Fatalf("steps = %d", s.Data.Steps())
+	}
+	if !math.IsNaN(s.Data.Metrics[0][1]) {
+		t.Fatal("empty cell should be NaN")
+	}
+	if s.Data.Metrics[1][0] != 2e9 {
+		t.Fatalf("value = %v", s.Data.Metrics[1][0])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":      "0,1,2\n",
+		"empty":          "",
+		"ragged row":     "#Time,a,b\n0,1\n",
+		"bad float":      "#Time,a\n0,xyz\n",
+		"bad meta":       "#meta nodes=abc\n#Time,a\n0,1\n",
+		"malformed meta": "#meta garbage\n#Time,a\n0,1\n",
+		"header only":    "#Time,a\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadCSV(strings.NewReader(in), nil); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadCSVSchemaMismatch(t *testing.T) {
+	schema := telemetry.BuildSchema(27)
+	in := "#Time,bogus\n0,1\n"
+	if _, _, err := ReadCSV(strings.NewReader(in), schema); err == nil {
+		t.Fatal("column count mismatch should error")
+	}
+	// Right count, wrong name.
+	var b strings.Builder
+	b.WriteString("#Time")
+	for range schema {
+		b.WriteString(",wrong")
+	}
+	b.WriteString("\n0")
+	for range schema {
+		b.WriteString(",1")
+	}
+	b.WriteString("\n")
+	if _, _, err := ReadCSV(strings.NewReader(b.String()), schema); err == nil {
+		t.Fatal("column name mismatch should error")
+	}
+}
+
+func TestRunDirRoundTrip(t *testing.T) {
+	samples, sys := sampleRun(t)
+	dir := t.TempDir()
+	if err := WriteRunDir(dir, samples, sys.Metrics); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRunDir(dir, sys.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(samples) {
+		t.Fatalf("samples = %d, want %d", len(back), len(samples))
+	}
+	for i := range back {
+		if back[i].Meta.Node != i {
+			t.Fatalf("node order wrong: %d at %d", back[i].Meta.Node, i)
+		}
+	}
+	if _, err := ReadRunDir(t.TempDir(), sys.Metrics); err == nil {
+		t.Fatal("empty dir should error")
+	}
+}
+
+func TestWriteCSVValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil, nil); err == nil {
+		t.Fatal("nil sample should error")
+	}
+	samples, sys := sampleRun(t)
+	if err := WriteCSV(&buf, samples[0], sys.Metrics[:3]); err == nil {
+		t.Fatal("schema mismatch should error")
+	}
+}
+
+func TestMetaUnknownKeysTolerated(t *testing.T) {
+	in := "#meta system=x future_key=42\n#Time,a\n0,1\n"
+	s, _, err := ReadCSV(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Meta.System != "x" {
+		t.Fatal("known keys should still parse")
+	}
+}

@@ -1,0 +1,176 @@
+// Package forest implements a random-forest classifier: bagged CART trees
+// with per-split feature subsampling and soft-voting over leaf class
+// distributions. It is the model the paper's headline results use
+// (Table IV "RF": n_estimators, max_depth, criterion).
+package forest
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"albadross/internal/ml"
+	"albadross/internal/ml/tree"
+)
+
+// Config are the forest hyperparameters from Table IV.
+type Config struct {
+	// NEstimators is the number of trees (paper grid: 8-200).
+	NEstimators int
+	// MaxDepth limits each tree (0 = unlimited, sklearn None).
+	MaxDepth int
+	// Criterion is the split impurity measure.
+	Criterion tree.Criterion
+	// MaxFeatures candidates per split; 0 uses sqrt(d), the sklearn
+	// default for classification.
+	MaxFeatures int
+	// MinSamplesLeaf is forwarded to each tree.
+	MinSamplesLeaf int
+	// Workers bounds training parallelism; 0 uses GOMAXPROCS.
+	Workers int
+	// Seed derives every tree's bootstrap and feature-subsampling seeds.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NEstimators <= 0 {
+		c.NEstimators = 100
+	}
+	if c.MaxFeatures == 0 {
+		c.MaxFeatures = -1 // sqrt(d)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Forest is a fitted random forest.
+type Forest struct {
+	Cfg      Config
+	Trees    []*tree.Classifier
+	NClasses int
+}
+
+// New returns an unfitted forest.
+func New(cfg Config) *Forest { return &Forest{Cfg: cfg.withDefaults()} }
+
+// NewFactory adapts the config into an ml.Factory.
+func NewFactory(cfg Config) ml.Factory {
+	return func() ml.Classifier { return New(cfg) }
+}
+
+// NumClasses reports the fitted class count.
+func (f *Forest) NumClasses() int { return f.NClasses }
+
+// Fit trains NEstimators trees on bootstrap resamples of (x, y), in
+// parallel. Training is deterministic for a fixed seed regardless of the
+// worker count.
+func (f *Forest) Fit(x [][]float64, y []int, nClasses int) error {
+	if err := ml.ValidateTrainingInput(x, y, nClasses); err != nil {
+		return err
+	}
+	cfg := f.Cfg
+	f.NClasses = nClasses
+	f.Trees = make([]*tree.Classifier, cfg.NEstimators)
+	errs := make([]error, cfg.NEstimators)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for t := 0; t < cfg.NEstimators; t++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			seed := cfg.Seed*1_000_003 + int64(t)
+			rng := rand.New(rand.NewSource(seed))
+			w := bootstrapWeights(len(x), rng)
+			tr := tree.NewClassifier(tree.Config{
+				MaxDepth:       cfg.MaxDepth,
+				MinSamplesLeaf: cfg.MinSamplesLeaf,
+				MaxFeatures:    cfg.MaxFeatures,
+				Criterion:      cfg.Criterion,
+				Seed:           seed + 17,
+			})
+			if err := tr.FitWeighted(x, y, w, nClasses); err != nil {
+				errs[t] = fmt.Errorf("forest: tree %d: %w", t, err)
+				return
+			}
+			f.Trees[t] = tr
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bootstrapWeights draws n samples with replacement and returns the
+// multiplicity of each index.
+func bootstrapWeights(n int, rng *rand.Rand) []float64 {
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[rng.Intn(n)]++
+	}
+	return w
+}
+
+// FeatureImportances returns the forest's mean-decrease-impurity feature
+// importances, averaged over trees and normalized to sum to 1 (matching
+// sklearn's feature_importances_). It returns nil before Fit.
+func (f *Forest) FeatureImportances() []float64 {
+	if len(f.Trees) == 0 || len(f.Trees[0].Importances) == 0 {
+		return nil
+	}
+	d := len(f.Trees[0].Importances)
+	acc := make([]float64, d)
+	for _, tr := range f.Trees {
+		for j, v := range tr.Importances {
+			acc[j] += v
+		}
+	}
+	total := 0.0
+	for _, v := range acc {
+		total += v
+	}
+	if total > 0 {
+		for j := range acc {
+			acc[j] /= total
+		}
+	}
+	return acc
+}
+
+// MemberProbas returns every tree's class distribution for one sample,
+// the committee view used by query-by-committee strategies.
+func (f *Forest) MemberProbas(x []float64) [][]float64 {
+	out := make([][]float64, len(f.Trees))
+	for i, tr := range f.Trees {
+		out[i] = tr.PredictProba(x)
+	}
+	return out
+}
+
+// PredictProba averages the leaf class distributions of every tree
+// (sklearn's soft voting).
+func (f *Forest) PredictProba(x []float64) []float64 {
+	if len(f.Trees) == 0 {
+		panic("forest: PredictProba before Fit")
+	}
+	acc := make([]float64, f.NClasses)
+	for _, tr := range f.Trees {
+		p := tr.PredictProba(x)
+		for c, v := range p {
+			acc[c] += v
+		}
+	}
+	inv := 1 / float64(len(f.Trees))
+	for c := range acc {
+		acc[c] *= inv
+	}
+	return acc
+}

@@ -1,0 +1,62 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"albadross/internal/ml/testutil"
+)
+
+func TestFeatureImportancesNormalized(t *testing.T) {
+	x, y, _ := testutil.Blobs(200, 6, 3, 4, 21)
+	f := New(Config{NEstimators: 12, MaxDepth: 6, Seed: 22})
+	if err := f.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	imp := f.FeatureImportances()
+	if len(imp) != 6 {
+		t.Fatalf("importances = %d", len(imp))
+	}
+	sum := 0.0
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum to %v", sum)
+	}
+	if New(Config{}).FeatureImportances() != nil {
+		t.Fatal("unfitted forest should return nil")
+	}
+}
+
+func TestMemberProbasMatchAverage(t *testing.T) {
+	x, y, _ := testutil.Blobs(150, 4, 2, 3, 23)
+	f := New(Config{NEstimators: 9, MaxDepth: 5, Seed: 24})
+	if err := f.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range x[:10] {
+		members := f.MemberProbas(probe)
+		if len(members) != 9 {
+			t.Fatalf("members = %d", len(members))
+		}
+		avg := make([]float64, 2)
+		for _, p := range members {
+			for c, v := range p {
+				avg[c] += v
+			}
+		}
+		for c := range avg {
+			avg[c] /= 9
+		}
+		got := f.PredictProba(probe)
+		for c := range got {
+			if math.Abs(got[c]-avg[c]) > 1e-12 {
+				t.Fatalf("ensemble average mismatch: %v vs %v", got, avg)
+			}
+		}
+	}
+}

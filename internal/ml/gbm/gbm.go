@@ -1,0 +1,208 @@
+// Package gbm implements a LightGBM-style gradient-boosting classifier:
+// leaf-wise regression trees boosted on the multiclass softmax objective
+// with Newton leaf weights, shrinkage, and per-tree feature subsampling
+// (Table IV "LGBM": num_leaves, learning_rate, max_depth,
+// colsample_bytree).
+package gbm
+
+import (
+	"math"
+	"math/rand"
+
+	"albadross/internal/ml"
+	"albadross/internal/ml/tree"
+)
+
+// Config are the boosting hyperparameters from Table IV.
+type Config struct {
+	// NEstimators is the number of boosting rounds (trees per class).
+	NEstimators int
+	// NumLeaves limits each tree's leaf count (LightGBM num_leaves).
+	NumLeaves int
+	// LearningRate is the shrinkage applied to each tree's output.
+	LearningRate float64
+	// MaxDepth limits tree depth; -1 or 0 means unlimited (LightGBM -1).
+	MaxDepth int
+	// ColsampleByTree is the fraction of features sampled per tree.
+	ColsampleByTree float64
+	// MinSamplesLeaf is LightGBM's min_data_in_leaf.
+	MinSamplesLeaf int
+	// Seed drives column subsampling and tree randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NEstimators <= 0 {
+		c.NEstimators = 100
+	}
+	if c.NumLeaves <= 1 {
+		c.NumLeaves = 31
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.MaxDepth < 0 {
+		c.MaxDepth = 0
+	}
+	if c.ColsampleByTree <= 0 || c.ColsampleByTree > 1 {
+		c.ColsampleByTree = 1
+	}
+	if c.MinSamplesLeaf <= 0 {
+		c.MinSamplesLeaf = 5
+	}
+	return c
+}
+
+// treeWithCols pairs a fitted tree with the column subset it was trained
+// on (column subsampling remaps feature indices).
+type treeWithCols struct {
+	Tree *tree.Regressor
+	Cols []int // nil means all columns
+}
+
+// Model is a fitted gradient-boosting classifier.
+type Model struct {
+	Cfg      Config
+	NClasses int
+	// Trees[round][class] predicts the class's logit increment.
+	Trees [][]treeWithCols
+	// Prior is the initial per-class logit (log class frequency).
+	Prior []float64
+}
+
+// New returns an unfitted model.
+func New(cfg Config) *Model { return &Model{Cfg: cfg.withDefaults()} }
+
+// NewFactory adapts the config into an ml.Factory.
+func NewFactory(cfg Config) ml.Factory {
+	return func() ml.Classifier { return New(cfg) }
+}
+
+// NumClasses reports the fitted class count.
+func (m *Model) NumClasses() int { return m.NClasses }
+
+// Fit boosts NEstimators rounds of K trees on the softmax objective.
+func (m *Model) Fit(x [][]float64, y []int, nClasses int) error {
+	if err := ml.ValidateTrainingInput(x, y, nClasses); err != nil {
+		return err
+	}
+	cfg := m.Cfg
+	m.NClasses = nClasses
+	n := len(x)
+	d := len(x[0])
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Prior logits from class frequencies (Laplace smoothed).
+	m.Prior = make([]float64, nClasses)
+	counts := make([]float64, nClasses)
+	for _, c := range y {
+		counts[c]++
+	}
+	for c := range m.Prior {
+		m.Prior[c] = math.Log((counts[c] + 1) / float64(n+nClasses))
+	}
+
+	// Current logits per sample.
+	logits := make([][]float64, n)
+	for i := range logits {
+		logits[i] = append([]float64{}, m.Prior...)
+	}
+	probs := make([]float64, nClasses)
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	kf := float64(nClasses)
+
+	m.Trees = make([][]treeWithCols, 0, cfg.NEstimators)
+	for round := 0; round < cfg.NEstimators; round++ {
+		roundTrees := make([]treeWithCols, nClasses)
+		// Softmax probabilities under current logits.
+		probMat := make([][]float64, n)
+		for i := range x {
+			probMat[i] = append([]float64{}, ml.Softmax(logits[i], probs)...)
+		}
+		for c := 0; c < nClasses; c++ {
+			for i := range x {
+				p := probMat[i][c]
+				target := 0.0
+				if y[i] == c {
+					target = 1
+				}
+				grad[i] = target - p
+				h := p * (1 - p)
+				if h < 1e-6 {
+					h = 1e-6
+				}
+				hess[i] = h
+			}
+			cols, xs := m.sampleColumns(x, d, rng)
+			tr := tree.NewRegressor(tree.Config{
+				MaxDepth:        cfg.MaxDepth,
+				MaxLeaves:       cfg.NumLeaves,
+				MinSamplesLeaf:  cfg.MinSamplesLeaf,
+				MinSamplesSplit: 2 * cfg.MinSamplesLeaf,
+				Seed:            cfg.Seed*31 + int64(round*nClasses+c),
+			})
+			tr.SetHessLeaf(func(gs, hs float64) float64 {
+				// Newton step with the multiclass (K-1)/K correction.
+				return (kf - 1) / kf * gs / hs
+			})
+			if err := tr.Fit(xs, grad, hess); err != nil {
+				return err
+			}
+			roundTrees[c] = treeWithCols{Tree: tr, Cols: cols}
+			for i := range x {
+				logits[i][c] += cfg.LearningRate * tr.Predict(xs[i])
+			}
+		}
+		m.Trees = append(m.Trees, roundTrees)
+	}
+	return nil
+}
+
+// sampleColumns draws the per-tree feature subset. It returns the column
+// indices (nil for all) and the projected matrix (the original when no
+// sampling happens).
+func (m *Model) sampleColumns(x [][]float64, d int, rng *rand.Rand) ([]int, [][]float64) {
+	frac := m.Cfg.ColsampleByTree
+	if frac >= 1 {
+		return nil, x
+	}
+	k := int(float64(d)*frac + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	perm := rng.Perm(d)[:k]
+	cols := append([]int{}, perm...)
+	xs := make([][]float64, len(x))
+	for i, row := range x {
+		pr := make([]float64, k)
+		for o, j := range cols {
+			pr[o] = row[j]
+		}
+		xs[i] = pr
+	}
+	return cols, xs
+}
+
+// PredictProba returns softmax class probabilities for one sample.
+func (m *Model) PredictProba(x []float64) []float64 {
+	if len(m.Trees) == 0 && m.Prior == nil {
+		panic("gbm: PredictProba before Fit")
+	}
+	logits := append([]float64{}, m.Prior...)
+	buf := make([]float64, 0, 8)
+	for _, round := range m.Trees {
+		for c, tc := range round {
+			xin := x
+			if tc.Cols != nil {
+				buf = buf[:0]
+				for _, j := range tc.Cols {
+					buf = append(buf, x[j])
+				}
+				xin = buf
+			}
+			logits[c] += m.Cfg.LearningRate * tc.Tree.Predict(xin)
+		}
+	}
+	return ml.Softmax(logits, nil)
+}

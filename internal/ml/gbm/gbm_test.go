@@ -1,0 +1,131 @@
+package gbm
+
+import (
+	"math"
+	"testing"
+
+	"albadross/internal/ml"
+	"albadross/internal/ml/testutil"
+)
+
+func TestGBMLearnsBlobs(t *testing.T) {
+	x, y, _ := testutil.Blobs(300, 6, 3, 4, 1)
+	m := New(Config{NEstimators: 30, NumLeaves: 8, LearningRate: 0.2, Seed: 2})
+	if err := m.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	acc := testutil.Accuracy(ml.PredictBatch(m, x), y)
+	if acc < 0.95 {
+		t.Fatalf("training accuracy = %v, want >= 0.95", acc)
+	}
+	if m.NumClasses() != 3 {
+		t.Fatal("NumClasses wrong")
+	}
+}
+
+func TestGBMProbabilitySimplex(t *testing.T) {
+	x, y, _ := testutil.Blobs(150, 4, 4, 2, 3)
+	m := New(Config{NEstimators: 10, NumLeaves: 4, Seed: 4})
+	if err := m.Fit(x, y, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range x {
+		p := m.PredictProba(row)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("probability out of range: %v", p)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestGBMMoreRoundsImproveTrainingFit(t *testing.T) {
+	x, y, _ := testutil.Blobs(250, 6, 3, 1.5, 5)
+	acc := func(rounds int) float64 {
+		m := New(Config{NEstimators: rounds, NumLeaves: 8, LearningRate: 0.2, Seed: 6})
+		if err := m.Fit(x, y, 3); err != nil {
+			t.Fatal(err)
+		}
+		return testutil.Accuracy(ml.PredictBatch(m, x), y)
+	}
+	if !(acc(40) >= acc(3)) {
+		t.Fatalf("more rounds should not hurt training fit: %v vs %v", acc(40), acc(3))
+	}
+}
+
+func TestGBMColumnSubsampling(t *testing.T) {
+	x, y, _ := testutil.Blobs(200, 10, 2, 3, 7)
+	m := New(Config{NEstimators: 15, NumLeaves: 8, ColsampleByTree: 0.5, Seed: 8})
+	if err := m.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Each fitted tree should carry a 5-column subset.
+	for _, round := range m.Trees {
+		for _, tc := range round {
+			if len(tc.Cols) != 5 {
+				t.Fatalf("cols = %d, want 5", len(tc.Cols))
+			}
+		}
+	}
+	acc := testutil.Accuracy(ml.PredictBatch(m, x), y)
+	if acc < 0.9 {
+		t.Fatalf("accuracy with colsample = %v", acc)
+	}
+}
+
+func TestGBMPriorOnlyPrediction(t *testing.T) {
+	// Zero rounds: prediction falls back to class priors.
+	x, y, _ := testutil.Blobs(90, 3, 3, 3, 9)
+	m := New(Config{NEstimators: 1, NumLeaves: 2, Seed: 1})
+	m.Cfg.NEstimators = 0 // bypass withDefaults to test the prior path
+	if err := m.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	p := m.PredictProba(x[0])
+	for c := range p {
+		if math.Abs(p[c]-1.0/3) > 0.05 {
+			t.Fatalf("prior probabilities should be ~uniform: %v", p)
+		}
+	}
+}
+
+func TestGBMDeterministic(t *testing.T) {
+	x, y, _ := testutil.Blobs(120, 5, 2, 2, 10)
+	run := func() []float64 {
+		m := New(Config{NEstimators: 8, NumLeaves: 6, ColsampleByTree: 0.6, Seed: 3})
+		if err := m.Fit(x, y, 2); err != nil {
+			t.Fatal(err)
+		}
+		return m.PredictProba(x[0])
+	}
+	a, b := run(), run()
+	for c := range a {
+		if a[c] != b[c] {
+			t.Fatal("GBM not deterministic")
+		}
+	}
+}
+
+func TestGBMValidationAndPanic(t *testing.T) {
+	if err := New(Config{}).Fit(nil, nil, 2); err == nil {
+		t.Fatal("empty input should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{}).PredictProba([]float64{1})
+}
+
+func TestGBMFactory(t *testing.T) {
+	c := NewFactory(Config{NEstimators: 2, NumLeaves: 2})()
+	if _, ok := c.(*Model); !ok {
+		t.Fatal("factory should build a gbm.Model")
+	}
+}

@@ -1,0 +1,121 @@
+// Package ml defines the classifier contract shared by the model zoo
+// (random forest, gradient-boosted trees, logistic regression, MLP) and
+// batch helpers. The paper's active-learning loop only needs two
+// operations from a model: fitting on a labeled set and producing
+// calibrated-ish class probabilities for query strategies (Sec. III-D).
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Classifier is a multiclass probabilistic classifier.
+type Classifier interface {
+	// Fit trains the model on rows x with class labels y in [0, nClasses).
+	// Fit may be called repeatedly; each call retrains from scratch.
+	Fit(x [][]float64, y []int, nClasses int) error
+	// PredictProba returns the class-probability vector for one sample.
+	// The result has nClasses entries summing to 1. Calling it before Fit
+	// panics (programmer error).
+	PredictProba(x []float64) []float64
+	// NumClasses reports the class count the model was fitted with, 0
+	// before fitting.
+	NumClasses() int
+}
+
+// Factory constructs a fresh, unfitted classifier. The active-learning
+// loop uses factories to retrain models as the labeled set grows.
+type Factory func() Classifier
+
+// Argmax returns the index of the largest probability, breaking ties
+// toward the lower index.
+func Argmax(p []float64) int {
+	best := 0
+	for i, v := range p {
+		if v > p[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Predict returns the most likely class for one sample.
+func Predict(c Classifier, x []float64) int {
+	return Argmax(c.PredictProba(x))
+}
+
+// PredictBatch returns the most likely class per row.
+func PredictBatch(c Classifier, x [][]float64) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		out[i] = Predict(c, row)
+	}
+	return out
+}
+
+// ProbaBatch returns the probability matrix for many rows.
+func ProbaBatch(c Classifier, x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = c.PredictProba(row)
+	}
+	return out
+}
+
+// ValidateTrainingInput checks the common Fit preconditions and returns a
+// descriptive error: non-empty data, rectangular matrix, matching label
+// count, labels in range.
+func ValidateTrainingInput(x [][]float64, y []int, nClasses int) error {
+	if len(x) == 0 {
+		return errors.New("ml: empty training set")
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(x), len(y))
+	}
+	if nClasses < 2 {
+		return fmt.Errorf("ml: need at least 2 classes, got %d", nClasses)
+	}
+	d := len(x[0])
+	for i, row := range x {
+		if len(row) != d {
+			return fmt.Errorf("ml: row %d has %d features, row 0 has %d", i, len(row), d)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("ml: non-finite feature at row %d col %d", i, j)
+			}
+		}
+	}
+	for i, c := range y {
+		if c < 0 || c >= nClasses {
+			return fmt.Errorf("ml: label %d at row %d outside [0,%d)", c, i, nClasses)
+		}
+	}
+	return nil
+}
+
+// Softmax writes the softmax of logits into out (allocating when out is
+// nil) and returns it. It is numerically stable under large logits.
+func Softmax(logits []float64, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, len(logits))
+	}
+	max := math.Inf(-1)
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

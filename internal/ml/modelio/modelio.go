@@ -1,0 +1,86 @@
+// Package modelio persists trained classifiers to disk, the Go equivalent
+// of the paper's "the final model is stored as a pickle object"
+// (Sec. III-E). Models are wrapped in an envelope recording the concrete
+// type so Load can reconstruct the right classifier.
+package modelio
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"albadross/internal/ml"
+	"albadross/internal/ml/forest"
+	"albadross/internal/ml/gbm"
+	"albadross/internal/ml/linear"
+	"albadross/internal/ml/neural"
+)
+
+// envelope wraps a model with its type tag.
+type envelope struct {
+	Kind  string
+	Bytes []byte
+}
+
+// kindOf maps a concrete model to its persistence tag.
+func kindOf(c ml.Classifier) (string, error) {
+	switch c.(type) {
+	case *forest.Forest:
+		return "forest", nil
+	case *gbm.Model:
+		return "gbm", nil
+	case *linear.Model:
+		return "linear", nil
+	case *neural.MLP:
+		return "mlp", nil
+	default:
+		return "", fmt.Errorf("modelio: unsupported model type %T", c)
+	}
+}
+
+// Save serializes a trained classifier to path.
+func Save(path string, c ml.Classifier) error {
+	kind, err := kindOf(c)
+	if err != nil {
+		return err
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(c); err != nil {
+		return fmt.Errorf("modelio: encoding %s: %w", kind, err)
+	}
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(envelope{Kind: kind, Bytes: body.Bytes()}); err != nil {
+		return fmt.Errorf("modelio: encoding envelope: %w", err)
+	}
+	return os.WriteFile(path, out.Bytes(), 0o644)
+}
+
+// Load reads a classifier previously written by Save.
+func Load(path string) (ml.Classifier, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("modelio: decoding envelope: %w", err)
+	}
+	var c ml.Classifier
+	switch env.Kind {
+	case "forest":
+		c = &forest.Forest{}
+	case "gbm":
+		c = &gbm.Model{}
+	case "linear":
+		c = &linear.Model{}
+	case "mlp":
+		c = &neural.MLP{}
+	default:
+		return nil, fmt.Errorf("modelio: unknown model kind %q", env.Kind)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(env.Bytes)).Decode(c); err != nil {
+		return nil, fmt.Errorf("modelio: decoding %s: %w", env.Kind, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,72 @@
+package modelio
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"albadross/internal/ml"
+	"albadross/internal/ml/forest"
+	"albadross/internal/ml/gbm"
+	"albadross/internal/ml/linear"
+	"albadross/internal/ml/neural"
+	"albadross/internal/ml/testutil"
+)
+
+func roundtrip(t *testing.T, c ml.Classifier, name string) {
+	t.Helper()
+	x, y, _ := testutil.Blobs(120, 4, 3, 3, 1)
+	if err := c.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name+".model")
+	if err := Save(path, c); err != nil {
+		t.Fatalf("save %s: %v", name, err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	if back.NumClasses() != 3 {
+		t.Fatalf("%s: NumClasses lost", name)
+	}
+	for i := 0; i < 25; i++ {
+		a := c.PredictProba(x[i])
+		b := back.PredictProba(x[i])
+		for k := range a {
+			if math.Abs(a[k]-b[k]) > 1e-12 {
+				t.Fatalf("%s: prediction changed after reload: %v vs %v", name, a, b)
+			}
+		}
+	}
+}
+
+func TestSaveLoadForest(t *testing.T) {
+	roundtrip(t, forest.New(forest.Config{NEstimators: 8, MaxDepth: 5, Seed: 2}), "forest")
+}
+
+func TestSaveLoadGBM(t *testing.T) {
+	roundtrip(t, gbm.New(gbm.Config{NEstimators: 6, NumLeaves: 4, Seed: 3}), "gbm")
+}
+
+func TestSaveLoadLinear(t *testing.T) {
+	roundtrip(t, linear.New(linear.Config{C: 1, MaxIter: 100}), "linear")
+}
+
+func TestSaveLoadMLP(t *testing.T) {
+	roundtrip(t, neural.NewMLP(neural.MLPConfig{HiddenLayerSizes: []int{8}, MaxIter: 10, Seed: 4}), "mlp")
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.model")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+type fake struct{ ml.Classifier }
+
+func TestSaveUnsupportedType(t *testing.T) {
+	if err := Save(filepath.Join(t.TempDir(), "x"), fake{}); err == nil {
+		t.Fatal("unsupported type should error")
+	}
+}

@@ -1,0 +1,178 @@
+package neural
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// AEConfig configures the autoencoder used by the Proctor baseline
+// (Sec. IV-D): a symmetric encoder/decoder trained to minimize mean
+// squared reconstruction error with the adadelta optimizer.
+type AEConfig struct {
+	// Encoder lists the encoder layer widths; the last entry is the code
+	// layer (the paper uses a 2000-neuron code layer at full scale). The
+	// decoder mirrors the encoder.
+	Encoder []int
+	// Epochs is the number of passes over the data (the paper uses 100).
+	Epochs int
+	// BatchSize for minibatch training; 0 uses min(32, n).
+	BatchSize int
+	// Optimizer defaults to Adadelta per the paper.
+	Optimizer OptimizerKind
+	// LearningRate for SGD/Adam (Adadelta ignores it).
+	LearningRate float64
+	// Seed drives initialization and shuffling.
+	Seed int64
+}
+
+func (c AEConfig) withDefaults() AEConfig {
+	if len(c.Encoder) == 0 {
+		c.Encoder = []int{64}
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 100
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 1e-3
+	}
+	return c
+}
+
+// Autoencoder learns a compressed representation of unlabeled feature
+// vectors.
+type Autoencoder struct {
+	Cfg AEConfig
+	Net *network
+	dim int
+}
+
+// NewAutoencoder returns an unfitted autoencoder.
+func NewAutoencoder(cfg AEConfig) *Autoencoder {
+	return &Autoencoder{Cfg: cfg.withDefaults()}
+}
+
+// CodeSize returns the width of the code (bottleneck) layer.
+func (a *Autoencoder) CodeSize() int { return a.Cfg.Encoder[len(a.Cfg.Encoder)-1] }
+
+// Fit trains the autoencoder to reconstruct x (MSE loss).
+func (a *Autoencoder) Fit(x [][]float64) error {
+	if len(x) == 0 {
+		return errors.New("neural: empty autoencoder training set")
+	}
+	d := len(x[0])
+	for i, row := range x {
+		if len(row) != d {
+			return fmt.Errorf("neural: row %d has %d features, row 0 has %d", i, len(row), d)
+		}
+	}
+	a.dim = d
+	cfg := a.Cfg
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Symmetric topology: d -> enc... -> code -> ...enc reversed -> d.
+	sizes := append([]int{d}, cfg.Encoder...)
+	for i := len(cfg.Encoder) - 2; i >= 0; i-- {
+		sizes = append(sizes, cfg.Encoder[i])
+	}
+	sizes = append(sizes, d)
+	acts := make([]Activation, len(sizes)-1)
+	for i := range acts {
+		acts[i] = ReLU
+	}
+	acts[len(acts)-1] = Identity // linear reconstruction
+	a.Net = newNetwork(sizes, acts, rng)
+
+	n := len(x)
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 32
+	}
+	if batch > n {
+		batch = n
+	}
+	params := flatten(a.Net)
+	opts := make([]optimizer, len(params))
+	for i := range opts {
+		opts[i] = newOptimizer(cfg.Optimizer, cfg.LearningRate, len(params[i]))
+	}
+	g := newGrads(a.Net)
+	outs := make([][]float64, len(a.Net.Layers)+1)
+	order := rng.Perm(n)
+	delta := make([]float64, d)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			g.zero()
+			bs := float64(end - start)
+			for _, i := range order[start:end] {
+				outs = a.Net.forward(x[i], outs)
+				recon := outs[len(outs)-1]
+				// MSE gradient at the identity output layer.
+				for j := range delta {
+					delta[j] = 2 * (recon[j] - x[i][j]) / (float64(d) * bs)
+				}
+				a.Net.backward(outs, delta, g)
+			}
+			gs := flattenGrads(g)
+			for i := range params {
+				opts[i].step(params[i], gs[i])
+			}
+		}
+	}
+	return nil
+}
+
+// codeLayerIndex returns the index (into forward outputs) of the code
+// layer activation.
+func (a *Autoencoder) codeLayerIndex() int { return len(a.Cfg.Encoder) }
+
+// Encode maps one sample to its code-layer representation.
+func (a *Autoencoder) Encode(x []float64) []float64 {
+	if a.Net == nil {
+		panic("neural: Encode before Fit")
+	}
+	outs := a.Net.forward(x, nil)
+	code := outs[a.codeLayerIndex()]
+	out := make([]float64, len(code))
+	copy(out, code)
+	return out
+}
+
+// EncodeBatch encodes many samples.
+func (a *Autoencoder) EncodeBatch(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = a.Encode(row)
+	}
+	return out
+}
+
+// Reconstruct runs a full encode/decode pass.
+func (a *Autoencoder) Reconstruct(x []float64) []float64 {
+	if a.Net == nil {
+		panic("neural: Reconstruct before Fit")
+	}
+	outs := a.Net.forward(x, nil)
+	recon := outs[len(outs)-1]
+	out := make([]float64, len(recon))
+	copy(out, recon)
+	return out
+}
+
+// ReconstructionError returns the mean squared reconstruction error of
+// one sample.
+func (a *Autoencoder) ReconstructionError(x []float64) float64 {
+	r := a.Reconstruct(x)
+	s := 0.0
+	for j := range r {
+		d := r[j] - x[j]
+		s += d * d
+	}
+	return s / float64(len(r))
+}

@@ -1,0 +1,146 @@
+package neural
+
+import (
+	"math/rand"
+
+	"albadross/internal/ml"
+)
+
+// MLPConfig are the multi-layer-perceptron hyperparameters from Table IV.
+type MLPConfig struct {
+	// HiddenLayerSizes, e.g. (50, 100, 50) from the paper's grid.
+	HiddenLayerSizes []int
+	// Alpha is the L2 penalty weight.
+	Alpha float64
+	// MaxIter is the number of training epochs.
+	MaxIter int
+	// LearningRate for SGD/Adam (Adadelta ignores it).
+	LearningRate float64
+	// BatchSize for minibatch training; 0 uses min(200, n), the sklearn
+	// default.
+	BatchSize int
+	// Optimizer selects the training algorithm (default Adam, as sklearn).
+	Optimizer OptimizerKind
+	// Seed drives initialization and shuffling.
+	Seed int64
+}
+
+func (c MLPConfig) withDefaults() MLPConfig {
+	if len(c.HiddenLayerSizes) == 0 {
+		c.HiddenLayerSizes = []int{100}
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 200
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 1e-3
+	}
+	return c
+}
+
+// MLP is a multi-layer-perceptron classifier with ReLU hidden layers and
+// a softmax output trained on cross-entropy.
+type MLP struct {
+	Cfg      MLPConfig
+	Net      *network
+	NClasses int
+}
+
+// NewMLP returns an unfitted MLP.
+func NewMLP(cfg MLPConfig) *MLP { return &MLP{Cfg: cfg.withDefaults()} }
+
+// NewMLPFactory adapts the config into an ml.Factory.
+func NewMLPFactory(cfg MLPConfig) ml.Factory {
+	return func() ml.Classifier { return NewMLP(cfg) }
+}
+
+// NumClasses reports the fitted class count.
+func (m *MLP) NumClasses() int { return m.NClasses }
+
+// Fit trains the network with minibatch backpropagation.
+func (m *MLP) Fit(x [][]float64, y []int, nClasses int) error {
+	if err := ml.ValidateTrainingInput(x, y, nClasses); err != nil {
+		return err
+	}
+	cfg := m.Cfg
+	n := len(x)
+	d := len(x[0])
+	m.NClasses = nClasses
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	sizes := append([]int{d}, cfg.HiddenLayerSizes...)
+	sizes = append(sizes, nClasses)
+	acts := make([]Activation, len(sizes)-1)
+	for i := range acts {
+		acts[i] = ReLU
+	}
+	acts[len(acts)-1] = Identity // logits; softmax applied in the loss
+	m.Net = newNetwork(sizes, acts, rng)
+
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 200
+	}
+	if batch > n {
+		batch = n
+	}
+	params := flatten(m.Net)
+	opts := make([]optimizer, len(params))
+	for i := range opts {
+		opts[i] = newOptimizer(cfg.Optimizer, cfg.LearningRate, len(params[i]))
+	}
+	g := newGrads(m.Net)
+	outs := make([][]float64, len(m.Net.Layers)+1)
+	order := rng.Perm(n)
+	delta := make([]float64, nClasses)
+
+	for epoch := 0; epoch < cfg.MaxIter; epoch++ {
+		rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			g.zero()
+			bs := float64(end - start)
+			for _, i := range order[start:end] {
+				outs = m.Net.forward(x[i], outs)
+				logits := outs[len(outs)-1]
+				p := ml.Softmax(logits, delta)
+				// Cross-entropy delta at the (identity) output layer.
+				for c := range p {
+					if y[i] == c {
+						delta[c] = (p[c] - 1) / bs
+					} else {
+						delta[c] = p[c] / bs
+					}
+				}
+				m.Net.backward(outs, delta, g)
+			}
+			// L2 penalty (weights only, like sklearn).
+			if cfg.Alpha > 0 {
+				for l := range m.Net.Layers {
+					for o := range m.Net.Layers[l].W {
+						for j := range m.Net.Layers[l].W[o] {
+							g.W[l][o][j] += cfg.Alpha * m.Net.Layers[l].W[o][j] / float64(n)
+						}
+					}
+				}
+			}
+			gs := flattenGrads(g)
+			for i := range params {
+				opts[i].step(params[i], gs[i])
+			}
+		}
+	}
+	return nil
+}
+
+// PredictProba returns softmax class probabilities for one sample.
+func (m *MLP) PredictProba(x []float64) []float64 {
+	if m.Net == nil {
+		panic("neural: PredictProba before Fit")
+	}
+	outs := m.Net.forward(x, nil)
+	return ml.Softmax(outs[len(outs)-1], nil)
+}

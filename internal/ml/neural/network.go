@@ -1,0 +1,185 @@
+// Package neural implements feed-forward neural networks on stdlib only:
+// the MLP classifier from Table IV (hidden_layer_sizes, alpha, max_iter)
+// and the autoencoder used by the Proctor baseline (Sec. IV-D), together
+// with SGD-with-momentum, Adam, and Adadelta optimizers (the paper trains
+// Proctor's autoencoder with adadelta and MSE).
+package neural
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota
+	ReLU
+	Tanh
+	Sigmoid
+)
+
+func (a Activation) apply(v float64) float64 {
+	switch a {
+	case ReLU:
+		if v < 0 {
+			return 0
+		}
+		return v
+	case Tanh:
+		return math.Tanh(v)
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-v))
+	default:
+		return v
+	}
+}
+
+// derivative expects the activation output (not the pre-activation).
+func (a Activation) derivative(out float64) float64 {
+	switch a {
+	case ReLU:
+		if out > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - out*out
+	case Sigmoid:
+		return out * (1 - out)
+	default:
+		return 1
+	}
+}
+
+// layer is a dense layer with weights W[out][in] and biases B[out].
+type layer struct {
+	W   [][]float64
+	B   []float64
+	Act Activation
+}
+
+// network is a feed-forward stack of dense layers.
+type network struct {
+	Layers []layer
+}
+
+// newNetwork builds a network with the given layer sizes (sizes[0] is the
+// input width) and activations per non-input layer, using scaled uniform
+// (Glorot) initialization.
+func newNetwork(sizes []int, acts []Activation, rng *rand.Rand) *network {
+	if len(acts) != len(sizes)-1 {
+		panic(fmt.Sprintf("neural: %d activations for %d layers", len(acts), len(sizes)-1))
+	}
+	nw := &network{}
+	for l := 1; l < len(sizes); l++ {
+		in, out := sizes[l-1], sizes[l]
+		bound := math.Sqrt(6.0 / float64(in+out))
+		w := make([][]float64, out)
+		for o := range w {
+			w[o] = make([]float64, in)
+			for j := range w[o] {
+				w[o][j] = (rng.Float64()*2 - 1) * bound
+			}
+		}
+		nw.Layers = append(nw.Layers, layer{W: w, B: make([]float64, out), Act: acts[l-1]})
+	}
+	return nw
+}
+
+// forward computes activations of every layer; outs[0] is the input.
+func (nw *network) forward(x []float64, outs [][]float64) [][]float64 {
+	if outs == nil {
+		outs = make([][]float64, len(nw.Layers)+1)
+	}
+	outs[0] = x
+	for l, ly := range nw.Layers {
+		out := outs[l+1]
+		if out == nil || len(out) != len(ly.B) {
+			out = make([]float64, len(ly.B))
+			outs[l+1] = out
+		}
+		in := outs[l]
+		for o := range ly.W {
+			z := ly.B[o]
+			row := ly.W[o]
+			for j, v := range in {
+				z += row[j] * v
+			}
+			out[o] = ly.Act.apply(z)
+		}
+	}
+	return outs
+}
+
+// grads mirrors the network's parameter shapes.
+type grads struct {
+	W [][][]float64
+	B [][]float64
+}
+
+func newGrads(nw *network) *grads {
+	g := &grads{}
+	for _, ly := range nw.Layers {
+		gw := make([][]float64, len(ly.W))
+		for o := range gw {
+			gw[o] = make([]float64, len(ly.W[o]))
+		}
+		g.W = append(g.W, gw)
+		g.B = append(g.B, make([]float64, len(ly.B)))
+	}
+	return g
+}
+
+func (g *grads) zero() {
+	for l := range g.W {
+		for o := range g.W[l] {
+			for j := range g.W[l][o] {
+				g.W[l][o][j] = 0
+			}
+		}
+		for o := range g.B[l] {
+			g.B[l][o] = 0
+		}
+	}
+}
+
+// backward accumulates parameter gradients for one sample given the
+// output-layer delta (dLoss/dPreActivation of the last layer) and the
+// forward activations. It returns nothing; gradients accumulate into g.
+func (nw *network) backward(outs [][]float64, outDelta []float64, g *grads) {
+	nLayers := len(nw.Layers)
+	delta := outDelta
+	for l := nLayers - 1; l >= 0; l-- {
+		ly := nw.Layers[l]
+		in := outs[l]
+		gw := g.W[l]
+		gb := g.B[l]
+		for o := range ly.W {
+			d := delta[o]
+			gb[o] += d
+			row := gw[o]
+			for j, v := range in {
+				row[j] += d * v
+			}
+		}
+		if l == 0 {
+			break
+		}
+		// Propagate delta to the previous layer.
+		prevAct := nw.Layers[l-1].Act
+		prevOut := outs[l]
+		next := make([]float64, len(nw.Layers[l-1].B))
+		for j := range next {
+			s := 0.0
+			for o := range ly.W {
+				s += ly.W[o][j] * delta[o]
+			}
+			next[j] = s * prevAct.derivative(prevOut[j])
+		}
+		delta = next
+	}
+}

@@ -1,0 +1,44 @@
+// Package testutil provides shared synthetic classification problems for
+// the model-zoo tests: Gaussian blobs of configurable separation, so every
+// classifier is exercised against the same ground truth.
+package testutil
+
+import "math/rand"
+
+// Blobs generates n samples from k Gaussian clusters in d dimensions with
+// the given center separation and unit noise. Returns the matrix, labels,
+// and the cluster centers.
+func Blobs(n, d, k int, sep float64, seed int64) (x [][]float64, y []int, centers [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	centers = make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, d)
+		for j := range centers[c] {
+			centers[c][j] = rng.NormFloat64() * sep
+		}
+	}
+	for i := 0; i < n; i++ {
+		c := i % k
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = centers[c][j] + rng.NormFloat64()
+		}
+		x = append(x, row)
+		y = append(y, c)
+	}
+	return x, y, centers
+}
+
+// Accuracy returns the fraction of correct predictions.
+func Accuracy(pred, y []int) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	ok := 0
+	for i := range pred {
+		if pred[i] == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(pred))
+}

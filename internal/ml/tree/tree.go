@@ -1,0 +1,670 @@
+// Package tree implements CART decision trees: a classification tree with
+// gini/entropy impurity (the substrate of the random forest, Table IV
+// "RF") and a regression tree with variance-reduction splits supporting
+// both depth-wise and LightGBM-style leaf-wise growth (the substrate of
+// the gradient-boosting machine, Table IV "LGBM").
+package tree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Criterion selects the impurity measure of the classification tree.
+type Criterion int
+
+// Impurity criteria matching sklearn's options.
+const (
+	Gini Criterion = iota
+	Entropy
+)
+
+// String returns the sklearn-style criterion name.
+func (c Criterion) String() string {
+	if c == Entropy {
+		return "entropy"
+	}
+	return "gini"
+}
+
+// ParseCriterion converts "gini"/"entropy" to a Criterion.
+func ParseCriterion(s string) (Criterion, error) {
+	switch s {
+	case "gini":
+		return Gini, nil
+	case "entropy":
+		return Entropy, nil
+	default:
+		return Gini, fmt.Errorf("tree: unknown criterion %q", s)
+	}
+}
+
+// Config controls tree growth.
+type Config struct {
+	// MaxDepth limits tree depth; 0 means unlimited (sklearn None).
+	MaxDepth int
+	// MinSamplesSplit is the minimum node size eligible for splitting.
+	MinSamplesSplit int
+	// MinSamplesLeaf is the minimum samples each child must keep.
+	MinSamplesLeaf int
+	// MaxFeatures is the number of random feature candidates per split;
+	// 0 considers every feature, -1 uses sqrt(d) (the forest default).
+	MaxFeatures int
+	// Criterion is the impurity measure (classification only).
+	Criterion Criterion
+	// MaxLeaves, when positive, grows the tree leaf-wise (best-gain-first)
+	// up to this many leaves (regression only; LightGBM's num_leaves).
+	MaxLeaves int
+	// Seed drives feature subsampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSamplesSplit < 2 {
+		c.MinSamplesSplit = 2
+	}
+	if c.MinSamplesLeaf < 1 {
+		c.MinSamplesLeaf = 1
+	}
+	return c
+}
+
+// node is one tree node; leaves keep a class distribution or value.
+type node struct {
+	Feature   int // -1 for leaves
+	Threshold float64
+	Left      int32
+	Right     int32
+	// Probs is the leaf class distribution (classification).
+	Probs []float64
+	// Value is the leaf output (regression).
+	Value float64
+}
+
+// featurePicker yields the candidate feature set for one split.
+type featurePicker struct {
+	rng  *rand.Rand
+	all  []int
+	take int
+}
+
+func newFeaturePicker(d, maxFeatures int, rng *rand.Rand) *featurePicker {
+	take := d
+	switch {
+	case maxFeatures == -1:
+		take = int(math.Sqrt(float64(d)))
+		if take < 1 {
+			take = 1
+		}
+	case maxFeatures > 0 && maxFeatures < d:
+		take = maxFeatures
+	}
+	all := make([]int, d)
+	for i := range all {
+		all[i] = i
+	}
+	return &featurePicker{rng: rng, all: all, take: take}
+}
+
+// pick returns the features to consider for this split. When subsampling,
+// it partially shuffles the shared index slice; callers must consume the
+// result before the next pick.
+func (p *featurePicker) pick() []int {
+	if p.take >= len(p.all) {
+		return p.all
+	}
+	for i := 0; i < p.take; i++ {
+		j := i + p.rng.Intn(len(p.all)-i)
+		p.all[i], p.all[j] = p.all[j], p.all[i]
+	}
+	return p.all[:p.take]
+}
+
+// ---------------------------------------------------------------------------
+// Classification tree
+
+// Classifier is a CART classification tree.
+type Classifier struct {
+	Cfg      Config
+	Nodes    []node
+	NClasses int
+	// Importances[j] is feature j's accumulated impurity decrease,
+	// weighted by the fraction of samples routed through each split
+	// (sklearn's mean-decrease-impurity, unnormalized).
+	Importances []float64
+}
+
+// NewClassifier returns an unfitted tree with the given configuration.
+func NewClassifier(cfg Config) *Classifier {
+	return &Classifier{Cfg: cfg.withDefaults()}
+}
+
+// NumClasses reports the fitted class count.
+func (t *Classifier) NumClasses() int { return t.NClasses }
+
+// Fit grows the tree on the full input. To train on a bootstrap sample or
+// with per-sample weights, use FitWeighted.
+func (t *Classifier) Fit(x [][]float64, y []int, nClasses int) error {
+	return t.FitWeighted(x, y, nil, nClasses)
+}
+
+// FitWeighted grows the tree with optional per-sample weights (nil means
+// uniform). Weights are how the forest feeds bootstrap multiplicities
+// without copying rows.
+func (t *Classifier) FitWeighted(x [][]float64, y []int, w []float64, nClasses int) error {
+	if err := validateFitInput(x, y, w, nClasses); err != nil {
+		return err
+	}
+	t.NClasses = nClasses
+	t.Nodes = t.Nodes[:0]
+	t.Importances = make([]float64, len(x[0]))
+	idx := activeIndices(w, len(x))
+	rng := rand.New(rand.NewSource(t.Cfg.Seed))
+	picker := newFeaturePicker(len(x[0]), t.Cfg.MaxFeatures, rng)
+	b := &clsBuilder{t: t, x: x, y: y, w: w, picker: picker}
+	b.rootSize = float64(len(idx))
+	b.grow(idx, 1)
+	return nil
+}
+
+// clsBuilder holds shared state while growing a classification tree.
+type clsBuilder struct {
+	t        *Classifier
+	x        [][]float64
+	y        []int
+	w        []float64
+	picker   *featurePicker
+	rootSize float64
+}
+
+func (b *clsBuilder) weight(i int) float64 {
+	if b.w == nil {
+		return 1
+	}
+	return b.w[i]
+}
+
+// grow builds the subtree over idx and returns its node index.
+func (b *clsBuilder) grow(idx []int, depth int) int32 {
+	t := b.t
+	counts := make([]float64, t.NClasses)
+	total := 0.0
+	for _, i := range idx {
+		w := b.weight(i)
+		counts[b.y[i]] += w
+		total += w
+	}
+	mkLeaf := func() int32 {
+		probs := make([]float64, t.NClasses)
+		for c := range probs {
+			probs[c] = counts[c] / total
+		}
+		t.Nodes = append(t.Nodes, node{Feature: -1, Probs: probs})
+		return int32(len(t.Nodes) - 1)
+	}
+	if len(idx) < t.Cfg.MinSamplesSplit || isPure(counts) ||
+		(t.Cfg.MaxDepth > 0 && depth > t.Cfg.MaxDepth) {
+		return mkLeaf()
+	}
+	feat, thr, gain := b.bestSplit(idx, counts, total)
+	if gain <= 1e-12 || feat < 0 {
+		return mkLeaf()
+	}
+	left, right := partition(b.x, idx, feat, thr)
+	if len(left) < t.Cfg.MinSamplesLeaf || len(right) < t.Cfg.MinSamplesLeaf {
+		return mkLeaf()
+	}
+	t.Importances[feat] += gain * float64(len(idx)) / b.rootSize
+	// Reserve this node's slot before growing children.
+	t.Nodes = append(t.Nodes, node{Feature: feat, Threshold: thr})
+	self := int32(len(t.Nodes) - 1)
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	t.Nodes[self].Left = l
+	t.Nodes[self].Right = r
+	return self
+}
+
+// bestSplit scans candidate features for the impurity-minimizing split.
+func (b *clsBuilder) bestSplit(idx []int, parentCounts []float64, total float64) (feat int, thr, gain float64) {
+	t := b.t
+	parentImp := impurity(parentCounts, total, t.Cfg.Criterion)
+	feat, gain = -1, 0
+	order := make([]int, len(idx))
+	leftCounts := make([]float64, t.NClasses)
+	rightCounts := make([]float64, t.NClasses)
+	for _, f := range b.picker.pick() {
+		copy(order, idx)
+		sort.Slice(order, func(a, c int) bool { return b.x[order[a]][f] < b.x[order[c]][f] })
+		for c := range leftCounts {
+			leftCounts[c] = 0
+			rightCounts[c] = parentCounts[c]
+		}
+		leftTotal := 0.0
+		leftN := 0
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			w := b.weight(i)
+			leftCounts[b.y[i]] += w
+			rightCounts[b.y[i]] -= w
+			leftTotal += w
+			leftN++
+			v, next := b.x[i][f], b.x[order[k+1]][f]
+			if v == next {
+				continue
+			}
+			if leftN < t.Cfg.MinSamplesLeaf || len(order)-leftN < t.Cfg.MinSamplesLeaf {
+				continue
+			}
+			rightTotal := total - leftTotal
+			if leftTotal == 0 || rightTotal == 0 {
+				continue
+			}
+			li := impurity(leftCounts, leftTotal, t.Cfg.Criterion)
+			ri := impurity(rightCounts, rightTotal, t.Cfg.Criterion)
+			g := parentImp - (leftTotal*li+rightTotal*ri)/total
+			if g > gain {
+				gain = g
+				feat = f
+				thr = (v + next) / 2
+			}
+		}
+	}
+	return feat, thr, gain
+}
+
+// PredictProba walks the tree and returns the leaf class distribution.
+func (t *Classifier) PredictProba(x []float64) []float64 {
+	if len(t.Nodes) == 0 {
+		panic("tree: PredictProba before Fit")
+	}
+	n := &t.Nodes[0]
+	for n.Feature >= 0 {
+		if x[n.Feature] <= n.Threshold {
+			n = &t.Nodes[n.Left]
+		} else {
+			n = &t.Nodes[n.Right]
+		}
+	}
+	out := make([]float64, len(n.Probs))
+	copy(out, n.Probs)
+	return out
+}
+
+// Depth returns the maximum depth of the fitted tree (root = 1).
+func (t *Classifier) Depth() int { return depthOf(t.Nodes, 0) }
+
+// LeafCount returns the number of leaves.
+func (t *Classifier) LeafCount() int {
+	n := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].Feature < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Regression tree
+
+// Regressor is a CART regression tree minimizing squared error. With
+// Cfg.MaxLeaves > 0 it grows leaf-wise (best gain first), which is how
+// LightGBM grows trees.
+type Regressor struct {
+	Cfg   Config
+	Nodes []node
+	// hessLeaf, when non-nil, post-processes leaf values from aggregated
+	// (gradSum, hessSum); the GBM uses it for Newton leaf weights. It is
+	// unexported (and skipped by gob) because functions cannot be
+	// serialized; set it with SetHessLeaf before Fit.
+	hessLeaf func(gradSum, hessSum float64) float64
+	// hess holds optional per-sample second-order stats during Fit.
+	hess []float64
+}
+
+// NewRegressor returns an unfitted regression tree.
+func NewRegressor(cfg Config) *Regressor {
+	return &Regressor{Cfg: cfg.withDefaults()}
+}
+
+// SetHessLeaf installs a custom leaf-value function computing the leaf
+// output from the leaf's gradient and Hessian sums (Newton step). Call it
+// before Fit.
+func (t *Regressor) SetHessLeaf(f func(gradSum, hessSum float64) float64) { t.hessLeaf = f }
+
+// Fit grows the tree on targets g (for the GBM these are gradients).
+// hess optionally carries per-sample Hessian values for HessLeaf; pass
+// nil for plain regression.
+func (t *Regressor) Fit(x [][]float64, g []float64, hess []float64) error {
+	if len(x) == 0 {
+		return fmt.Errorf("tree: empty training set")
+	}
+	if len(g) != len(x) {
+		return fmt.Errorf("tree: %d targets for %d rows", len(g), len(x))
+	}
+	if hess != nil && len(hess) != len(x) {
+		return fmt.Errorf("tree: %d hessians for %d rows", len(hess), len(x))
+	}
+	t.Nodes = t.Nodes[:0]
+	t.hess = hess
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(t.Cfg.Seed))
+	picker := newFeaturePicker(len(x[0]), t.Cfg.MaxFeatures, rng)
+	b := &regBuilder{t: t, x: x, g: g, picker: picker}
+	if t.Cfg.MaxLeaves > 1 {
+		b.growLeafwise(idx)
+	} else {
+		b.growDepthwise(idx, 1)
+	}
+	return nil
+}
+
+type regBuilder struct {
+	t      *Regressor
+	x      [][]float64
+	g      []float64
+	picker *featurePicker
+}
+
+// stats of a candidate node.
+type regStats struct {
+	sum, sumSq, hessSum float64
+	n                   int
+}
+
+func (b *regBuilder) statsOf(idx []int) regStats {
+	var s regStats
+	for _, i := range idx {
+		v := b.g[i]
+		s.sum += v
+		s.sumSq += v * v
+		if b.t.hess != nil {
+			s.hessSum += b.t.hess[i]
+		}
+		s.n++
+	}
+	return s
+}
+
+func (s regStats) sse() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sumSq - s.sum*s.sum/float64(s.n)
+}
+
+func (b *regBuilder) leafValue(s regStats) float64 {
+	if b.t.hessLeaf != nil {
+		return b.t.hessLeaf(s.sum, s.hessSum)
+	}
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+func (b *regBuilder) mkLeaf(s regStats) int32 {
+	b.t.Nodes = append(b.t.Nodes, node{Feature: -1, Value: b.leafValue(s)})
+	return int32(len(b.t.Nodes) - 1)
+}
+
+// growDepthwise is classic recursive CART growth.
+func (b *regBuilder) growDepthwise(idx []int, depth int) int32 {
+	t := b.t
+	s := b.statsOf(idx)
+	if len(idx) < t.Cfg.MinSamplesSplit || s.sse() <= 1e-12 ||
+		(t.Cfg.MaxDepth > 0 && depth > t.Cfg.MaxDepth) {
+		return b.mkLeaf(s)
+	}
+	feat, thr, gain := b.bestSplit(idx, s)
+	if gain <= 1e-12 || feat < 0 {
+		return b.mkLeaf(s)
+	}
+	left, right := partition(b.x, idx, feat, thr)
+	if len(left) < t.Cfg.MinSamplesLeaf || len(right) < t.Cfg.MinSamplesLeaf {
+		return b.mkLeaf(s)
+	}
+	t.Nodes = append(t.Nodes, node{Feature: feat, Threshold: thr})
+	self := int32(len(t.Nodes) - 1)
+	l := b.growDepthwise(left, depth+1)
+	r := b.growDepthwise(right, depth+1)
+	t.Nodes[self].Left = l
+	t.Nodes[self].Right = r
+	return self
+}
+
+// leafCandidate is a grown leaf eligible for further splitting.
+type leafCandidate struct {
+	nodeIdx int32
+	idx     []int
+	stats   regStats
+	feat    int
+	thr     float64
+	gain    float64
+	depth   int
+}
+
+// growLeafwise expands the best-gain leaf first until MaxLeaves leaves
+// exist (LightGBM's growth strategy).
+func (b *regBuilder) growLeafwise(idx []int) {
+	t := b.t
+	s := b.statsOf(idx)
+	t.Nodes = append(t.Nodes, node{Feature: -1, Value: b.leafValue(s)})
+	cands := []leafCandidate{b.candidate(0, idx, s, 1)}
+	leaves := 1
+	for leaves < t.Cfg.MaxLeaves {
+		// Pick the best splittable candidate.
+		best := -1
+		for i := range cands {
+			if cands[i].gain > 1e-12 && (best == -1 || cands[i].gain > cands[best].gain) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := cands[best]
+		cands = append(cands[:best], cands[best+1:]...)
+		left, right := partition(b.x, c.idx, c.feat, c.thr)
+		if len(left) < t.Cfg.MinSamplesLeaf || len(right) < t.Cfg.MinSamplesLeaf {
+			continue
+		}
+		// Convert the leaf into an internal node with two fresh leaves.
+		ls, rs := b.statsOf(left), b.statsOf(right)
+		lIdx := int32(len(t.Nodes))
+		t.Nodes = append(t.Nodes, node{Feature: -1, Value: b.leafValue(ls)})
+		rIdx := int32(len(t.Nodes))
+		t.Nodes = append(t.Nodes, node{Feature: -1, Value: b.leafValue(rs)})
+		t.Nodes[c.nodeIdx] = node{Feature: c.feat, Threshold: c.thr, Left: lIdx, Right: rIdx}
+		leaves++
+		if t.Cfg.MaxDepth == 0 || c.depth+1 <= t.Cfg.MaxDepth {
+			cands = append(cands, b.candidate(lIdx, left, ls, c.depth+1))
+			cands = append(cands, b.candidate(rIdx, right, rs, c.depth+1))
+		}
+	}
+}
+
+// candidate evaluates the best split of a leaf.
+func (b *regBuilder) candidate(nodeIdx int32, idx []int, s regStats, depth int) leafCandidate {
+	c := leafCandidate{nodeIdx: nodeIdx, idx: idx, stats: s, feat: -1, depth: depth}
+	if len(idx) >= b.t.Cfg.MinSamplesSplit && s.sse() > 1e-12 {
+		c.feat, c.thr, c.gain = b.bestSplit(idx, s)
+	}
+	return c
+}
+
+// bestSplit finds the SSE-minimizing split over candidate features.
+func (b *regBuilder) bestSplit(idx []int, parent regStats) (feat int, thr, gain float64) {
+	feat, gain = -1, 0
+	parentSSE := parent.sse()
+	order := make([]int, len(idx))
+	minLeaf := b.t.Cfg.MinSamplesLeaf
+	for _, f := range b.picker.pick() {
+		copy(order, idx)
+		sort.Slice(order, func(a, c int) bool { return b.x[order[a]][f] < b.x[order[c]][f] })
+		var lSum, lSumSq float64
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			v := b.g[i]
+			lSum += v
+			lSumSq += v * v
+			x1, x2 := b.x[i][f], b.x[order[k+1]][f]
+			if x1 == x2 {
+				continue
+			}
+			ln := k + 1
+			rn := len(order) - ln
+			if ln < minLeaf || rn < minLeaf {
+				continue
+			}
+			lSSE := lSumSq - lSum*lSum/float64(ln)
+			rSum := parent.sum - lSum
+			rSumSq := parent.sumSq - lSumSq
+			rSSE := rSumSq - rSum*rSum/float64(rn)
+			g := parentSSE - lSSE - rSSE
+			if g > gain {
+				gain = g
+				feat = f
+				thr = (x1 + x2) / 2
+			}
+		}
+	}
+	return feat, thr, gain
+}
+
+// Predict returns the leaf value for one sample.
+func (t *Regressor) Predict(x []float64) float64 {
+	if len(t.Nodes) == 0 {
+		panic("tree: Predict before Fit")
+	}
+	n := &t.Nodes[0]
+	for n.Feature >= 0 {
+		if x[n.Feature] <= n.Threshold {
+			n = &t.Nodes[n.Left]
+		} else {
+			n = &t.Nodes[n.Right]
+		}
+	}
+	return n.Value
+}
+
+// LeafCount returns the number of leaves.
+func (t *Regressor) LeafCount() int {
+	n := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].Feature < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the maximum depth of the fitted tree (root = 1).
+func (t *Regressor) Depth() int { return depthOf(t.Nodes, 0) }
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+func validateFitInput(x [][]float64, y []int, w []float64, nClasses int) error {
+	if len(x) == 0 {
+		return fmt.Errorf("tree: empty training set")
+	}
+	if len(y) != len(x) {
+		return fmt.Errorf("tree: %d labels for %d rows", len(y), len(x))
+	}
+	if w != nil && len(w) != len(x) {
+		return fmt.Errorf("tree: %d weights for %d rows", len(w), len(x))
+	}
+	if nClasses < 2 {
+		return fmt.Errorf("tree: need at least 2 classes, got %d", nClasses)
+	}
+	for i, c := range y {
+		if c < 0 || c >= nClasses {
+			return fmt.Errorf("tree: label %d at row %d outside [0,%d)", c, i, nClasses)
+		}
+	}
+	return nil
+}
+
+// activeIndices returns the indices with positive weight (all indices when
+// w is nil).
+func activeIndices(w []float64, n int) []int {
+	idx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if w == nil || w[i] > 0 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func isPure(counts []float64) bool {
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+			if nonzero > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func impurity(counts []float64, total float64, crit Criterion) float64 {
+	if total == 0 {
+		return 0
+	}
+	switch crit {
+	case Entropy:
+		h := 0.0
+		for _, c := range counts {
+			if c > 0 {
+				p := c / total
+				h -= p * math.Log2(p)
+			}
+		}
+		return h
+	default: // Gini
+		g := 1.0
+		for _, c := range counts {
+			p := c / total
+			g -= p * p
+		}
+		return g
+	}
+}
+
+// partition splits idx into samples with x[f] <= thr and the rest.
+func partition(x [][]float64, idx []int, f int, thr float64) (left, right []int) {
+	for _, i := range idx {
+		if x[i][f] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return left, right
+}
+
+func depthOf(nodes []node, root int32) int {
+	if len(nodes) == 0 {
+		return 0
+	}
+	n := nodes[root]
+	if n.Feature < 0 {
+		return 1
+	}
+	l := depthOf(nodes, n.Left)
+	r := depthOf(nodes, n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

@@ -1,0 +1,354 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates two well-separated Gaussian clusters.
+func blobs(n int, seed int64) (x [][]float64, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		c := i % 2
+		cx := float64(c) * 4
+		x = append(x, []float64{cx + rng.NormFloat64()*0.5, rng.NormFloat64()})
+		y = append(y, c)
+	}
+	return x, y
+}
+
+func TestClassifierSeparableData(t *testing.T) {
+	x, y := blobs(200, 1)
+	tr := NewClassifier(Config{MaxDepth: 4})
+	if err := tr.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range x {
+		p := tr.PredictProba(x[i])
+		pred := 0
+		if p[1] > p[0] {
+			pred = 1
+		}
+		if pred != y[i] {
+			errs++
+		}
+	}
+	if errs > 4 {
+		t.Fatalf("%d/200 training errors on separable data", errs)
+	}
+}
+
+func TestClassifierProbabilitiesSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, d, k := 150, 5, 4
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = make([]float64, d)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+		y[i] = rng.Intn(k)
+	}
+	tr := NewClassifier(Config{MaxDepth: 6, Criterion: Entropy})
+	if err := tr.Fit(x, y, k); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		p := tr.PredictProba(x[i])
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("probability out of range: %v", p)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestClassifierRespectsMaxDepth(t *testing.T) {
+	x, y := blobs(300, 3)
+	for _, depth := range []int{1, 2, 4} {
+		tr := NewClassifier(Config{MaxDepth: depth})
+		if err := tr.Fit(x, y, 2); err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.Depth(); got > depth+1 {
+			t.Fatalf("depth = %d, config %d", got, depth)
+		}
+	}
+}
+
+func TestClassifierMinSamplesLeaf(t *testing.T) {
+	x, y := blobs(100, 4)
+	tr := NewClassifier(Config{MinSamplesLeaf: 30})
+	if err := tr.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	// With min 30 per leaf and 100 samples, at most 3 leaves.
+	if tr.LeafCount() > 3 {
+		t.Fatalf("leaf count = %d with MinSamplesLeaf 30", tr.LeafCount())
+	}
+}
+
+func TestClassifierWeighted(t *testing.T) {
+	// Duplicate-by-weight should match duplicate-by-copy.
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []int{0, 0, 1, 1}
+	w := []float64{3, 1, 1, 3}
+	tw := NewClassifier(Config{})
+	if err := tw.FitWeighted(x, y, w, 2); err != nil {
+		t.Fatal(err)
+	}
+	var xc [][]float64
+	var yc []int
+	for i := range x {
+		for r := 0; r < int(w[i]); r++ {
+			xc = append(xc, x[i])
+			yc = append(yc, y[i])
+		}
+	}
+	tc := NewClassifier(Config{})
+	if err := tc.Fit(xc, yc, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range [][]float64{{0.2}, {1.4}, {2.6}} {
+		pw := tw.PredictProba(probe)
+		pc := tc.PredictProba(probe)
+		for c := range pw {
+			if math.Abs(pw[c]-pc[c]) > 1e-9 {
+				t.Fatalf("probe %v: weighted %v vs copied %v", probe, pw, pc)
+			}
+		}
+	}
+}
+
+func TestClassifierZeroWeightExcluded(t *testing.T) {
+	// A zero-weight outlier must not influence the tree.
+	x := [][]float64{{0}, {0.1}, {0.2}, {5}}
+	y := []int{0, 0, 0, 1}
+	w := []float64{1, 1, 1, 0}
+	tr := NewClassifier(Config{})
+	if err := tr.FitWeighted(x, y, w, 2); err != nil {
+		t.Fatal(err)
+	}
+	p := tr.PredictProba([]float64{5})
+	if p[1] != 0 {
+		t.Fatalf("zero-weight sample leaked into the tree: %v", p)
+	}
+}
+
+func TestClassifierValidation(t *testing.T) {
+	if err := NewClassifier(Config{}).Fit(nil, nil, 2); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if err := NewClassifier(Config{}).Fit([][]float64{{1}}, []int{0, 1}, 2); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if err := NewClassifier(Config{}).Fit([][]float64{{1}, {2}}, []int{0, 3}, 2); err == nil {
+		t.Fatal("label out of range should error")
+	}
+	if err := NewClassifier(Config{}).Fit([][]float64{{1}, {2}}, []int{0, 1}, 1); err == nil {
+		t.Fatal("single class should error")
+	}
+}
+
+func TestParseCriterion(t *testing.T) {
+	if c, err := ParseCriterion("entropy"); err != nil || c != Entropy {
+		t.Fatal("entropy parse failed")
+	}
+	if c, err := ParseCriterion("gini"); err != nil || c != Gini {
+		t.Fatal("gini parse failed")
+	}
+	if _, err := ParseCriterion("mse"); err == nil {
+		t.Fatal("unknown criterion should error")
+	}
+	if Gini.String() != "gini" || Entropy.String() != "entropy" {
+		t.Fatal("criterion names wrong")
+	}
+}
+
+func TestRegressorStepFunction(t *testing.T) {
+	// y = 1 for x > 0.5 else 0; a single split should nail it.
+	var x [][]float64
+	var g []float64
+	for i := 0; i < 100; i++ {
+		v := float64(i) / 100
+		x = append(x, []float64{v})
+		if v > 0.5 {
+			g = append(g, 1)
+		} else {
+			g = append(g, 0)
+		}
+	}
+	tr := NewRegressor(Config{MaxDepth: 2})
+	if err := tr.Fit(x, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v := tr.Predict([]float64{0.2}); math.Abs(v) > 1e-9 {
+		t.Fatalf("predict(0.2) = %v, want 0", v)
+	}
+	if v := tr.Predict([]float64{0.9}); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("predict(0.9) = %v, want 1", v)
+	}
+}
+
+func TestRegressorLeafwiseRespectsMaxLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var g []float64
+	for i := 0; i < 500; i++ {
+		v := rng.Float64() * 10
+		x = append(x, []float64{v})
+		g = append(g, math.Sin(v)+0.05*rng.NormFloat64())
+	}
+	for _, leaves := range []int{2, 8, 31} {
+		tr := NewRegressor(Config{MaxLeaves: leaves})
+		if err := tr.Fit(x, g, nil); err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.LeafCount(); got > leaves {
+			t.Fatalf("leaf count %d exceeds MaxLeaves %d", got, leaves)
+		}
+	}
+}
+
+func TestRegressorLeafwiseImprovesWithMoreLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var x [][]float64
+	var g []float64
+	for i := 0; i < 600; i++ {
+		v := rng.Float64() * 10
+		x = append(x, []float64{v})
+		g = append(g, math.Sin(v))
+	}
+	mse := func(leaves int) float64 {
+		tr := NewRegressor(Config{MaxLeaves: leaves})
+		if err := tr.Fit(x, g, nil); err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for i := range x {
+			d := tr.Predict(x[i]) - g[i]
+			s += d * d
+		}
+		return s / float64(len(x))
+	}
+	if !(mse(31) < mse(4) && mse(4) < mse(2)) {
+		t.Fatalf("mse not decreasing with leaves: %v %v %v", mse(2), mse(4), mse(31))
+	}
+}
+
+func TestRegressorHessLeaf(t *testing.T) {
+	x := [][]float64{{0}, {0}, {1}, {1}}
+	g := []float64{1, 1, -1, -1}
+	h := []float64{0.5, 0.5, 0.5, 0.5}
+	tr := NewRegressor(Config{MaxDepth: 2})
+	tr.SetHessLeaf(func(gs, hs float64) float64 { return gs / hs })
+	if err := tr.Fit(x, g, h); err != nil {
+		t.Fatal(err)
+	}
+	if v := tr.Predict([]float64{0}); math.Abs(v-2) > 1e-9 {
+		t.Fatalf("newton leaf = %v, want 2", v)
+	}
+}
+
+func TestRegressorValidation(t *testing.T) {
+	tr := NewRegressor(Config{})
+	if err := tr.Fit(nil, nil, nil); err == nil {
+		t.Fatal("empty should error")
+	}
+	if err := tr.Fit([][]float64{{1}}, []float64{1, 2}, nil); err == nil {
+		t.Fatal("target mismatch should error")
+	}
+	if err := tr.Fit([][]float64{{1}}, []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("hessian mismatch should error")
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewClassifier(Config{}).PredictProba([]float64{1})
+}
+
+func TestFeatureSubsampling(t *testing.T) {
+	// With MaxFeatures=-1 (sqrt), trees with different seeds should
+	// (usually) differ on high-dimensional noise.
+	rng := rand.New(rand.NewSource(7))
+	n, d := 100, 25
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = make([]float64, d)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+		if x[i][3] > 0 {
+			y[i] = 1
+		}
+	}
+	t1 := NewClassifier(Config{MaxFeatures: -1, Seed: 1, MaxDepth: 3})
+	t2 := NewClassifier(Config{MaxFeatures: -1, Seed: 2, MaxDepth: 3})
+	if err := t1.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if t1.Nodes[0].Feature == t2.Nodes[0].Feature && t1.Nodes[0].Threshold == t2.Nodes[0].Threshold {
+		// Not an error per se, but with 25 features and sqrt=5 candidates
+		// the root splits should typically differ; check deeper.
+		same := len(t1.Nodes) == len(t2.Nodes)
+		if same {
+			for i := range t1.Nodes {
+				if t1.Nodes[i].Feature != t2.Nodes[i].Feature {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Log("warning: identical trees under different seeds (possible but unlikely)")
+		}
+	}
+}
+
+func TestQuickTreeDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(50)
+		x := make([][]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			x[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+			y[i] = rng.Intn(3)
+		}
+		a := NewClassifier(Config{MaxDepth: 5, Seed: seed})
+		b := NewClassifier(Config{MaxDepth: 5, Seed: seed})
+		if a.Fit(x, y, 3) != nil || b.Fit(x, y, 3) != nil {
+			return false
+		}
+		if len(a.Nodes) != len(b.Nodes) {
+			return false
+		}
+		for i := range a.Nodes {
+			if a.Nodes[i].Feature != b.Nodes[i].Feature || a.Nodes[i].Threshold != b.Nodes[i].Threshold {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

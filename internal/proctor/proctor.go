@@ -1,0 +1,104 @@
+// Package proctor reimplements the Proctor baseline the paper compares
+// against (Aksar et al., ISC 2021; Sec. IV-D): a semi-supervised anomaly
+// diagnoser that trains a deep autoencoder on the (largely unlabeled)
+// pool to learn compute-node behaviour, then fits a logistic-regression
+// head on the code-layer representation of the labeled samples. In the
+// paper's query experiments Proctor receives randomly selected labels
+// each iteration and only the supervised head is retrained, which is why
+// its trajectory stays nearly flat.
+package proctor
+
+import (
+	"errors"
+
+	"albadross/internal/ml"
+	"albadross/internal/ml/linear"
+	"albadross/internal/ml/neural"
+)
+
+// Config mirrors the paper's Proctor setup: an autoencoder whose code
+// layer feeds a logistic-regression classifier, trained with adadelta on
+// MSE for 100 epochs (Sec. IV-E-3).
+type Config struct {
+	// Encoder lists the autoencoder's encoder widths; the last entry is
+	// the code layer (2000 neurons at paper scale).
+	Encoder []int
+	// Epochs for autoencoder training (paper: 100).
+	Epochs int
+	// Classifier configures the logistic-regression head.
+	Classifier linear.Config
+	// Seed drives initialization.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Encoder) == 0 {
+		c.Encoder = []int{64, 32}
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 100
+	}
+	if c.Classifier.MaxIter == 0 {
+		c.Classifier = linear.Config{Penalty: linear.L2, C: 1, MaxIter: 200}
+	}
+	return c
+}
+
+// Proctor is the fitted baseline: a representation model plus a
+// supervised head.
+type Proctor struct {
+	Cfg Config
+	AE  *neural.Autoencoder
+}
+
+// New returns a Proctor with an untrained autoencoder.
+func New(cfg Config) *Proctor { return &Proctor{Cfg: cfg.withDefaults()} }
+
+// FitRepresentation trains the autoencoder on the pool's feature vectors
+// (labels not needed). It is called once; the classifier head is
+// retrained as labels arrive.
+func (p *Proctor) FitRepresentation(x [][]float64) error {
+	if len(x) == 0 {
+		return errors.New("proctor: empty representation training set")
+	}
+	p.AE = neural.NewAutoencoder(neural.AEConfig{
+		Encoder:   p.Cfg.Encoder,
+		Epochs:    p.Cfg.Epochs,
+		Optimizer: neural.Adadelta,
+		Seed:      p.Cfg.Seed,
+	})
+	return p.AE.Fit(x)
+}
+
+// Factory returns an ml.Factory producing classifiers that encode through
+// the (already trained) autoencoder and fit the logistic-regression head.
+// It satisfies the active-learning loop's retraining contract: each
+// retrain refits only the head, as the paper does.
+func (p *Proctor) Factory() ml.Factory {
+	return func() ml.Classifier {
+		return &headClassifier{ae: p.AE, lr: linear.New(p.Cfg.Classifier)}
+	}
+}
+
+// headClassifier is the AE-encode + logistic-regression pipeline exposed
+// as a single ml.Classifier.
+type headClassifier struct {
+	ae *neural.Autoencoder
+	lr *linear.Model
+}
+
+// Fit encodes the labeled samples and fits the head.
+func (h *headClassifier) Fit(x [][]float64, y []int, nClasses int) error {
+	if h.ae == nil {
+		return errors.New("proctor: FitRepresentation must run before the classifier head")
+	}
+	return h.lr.Fit(h.ae.EncodeBatch(x), y, nClasses)
+}
+
+// PredictProba encodes and classifies one sample.
+func (h *headClassifier) PredictProba(x []float64) []float64 {
+	return h.lr.PredictProba(h.ae.Encode(x))
+}
+
+// NumClasses reports the head's fitted class count.
+func (h *headClassifier) NumClasses() int { return h.lr.NumClasses() }

@@ -1,0 +1,403 @@
+// Package server implements the paper's future-work deployment scenario
+// (Sec. VI): an annotation service that makes the querying process easy
+// for human annotators. It wraps a live active-learning session behind
+// an HTTP API:
+//
+//	GET  /api/next     -> the sample the query strategy wants labeled,
+//	                      with its provenance and the metrics that make
+//	                      the model uncertain (the "important metrics"
+//	                      hint the paper proposes)
+//	POST /api/label    -> {"id": N, "label": "memleak"} records the
+//	                      annotation, retrains, and re-scores
+//	GET  /api/status   -> trajectory so far (F1/FAR/AMR per query)
+//	GET  /api/diagnose -> POST a feature vector, get a diagnosis
+//	GET  /             -> a minimal built-in dashboard page
+//
+// The server owns the loop state; handlers serialize access through a
+// mutex, so one annotator session is consistent even with concurrent
+// clients.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+
+	"albadross/internal/active"
+	"albadross/internal/dataset"
+	"albadross/internal/eval"
+	"albadross/internal/explain"
+	"albadross/internal/ml"
+	"albadross/internal/telemetry"
+)
+
+// Config assembles an annotation server.
+type Config struct {
+	// Data is the transformed active-learning dataset (shared indexing
+	// with Split).
+	Data *dataset.Dataset
+	// Split is the Fig. 2 split; Initial must already be labeled.
+	Split *dataset.ALSplit
+	// Factory builds the model retrained after each annotation.
+	Factory ml.Factory
+	// Strategy picks the next sample to annotate.
+	Strategy active.Strategy
+	// HealthyClass is the class index used by FAR/AMR (usually 0).
+	HealthyClass int
+	// FeatureNames (optional) enables the important-metrics hint.
+	FeatureNames []string
+	// Seed drives strategy randomness.
+	Seed int64
+}
+
+// Server is the annotation service. Create with New, mount via Handler.
+type Server struct {
+	cfg Config
+
+	mu      sync.Mutex
+	model   ml.Classifier
+	labeled []int
+	pool    []int
+	yOf     map[int]int
+	rng     *rand.Rand
+	pending int // dataset index offered by /api/next; -1 when none
+	history []StatusPoint
+}
+
+// StatusPoint is one trajectory entry exposed by /api/status.
+type StatusPoint struct {
+	Queried         int     `json:"queried"`
+	F1              float64 `json:"f1"`
+	FalseAlarmRate  float64 `json:"false_alarm_rate"`
+	AnomalyMissRate float64 `json:"anomaly_miss_rate"`
+}
+
+// New builds the server and trains the initial model on Split.Initial
+// using the dataset's stored labels.
+func New(cfg Config) (*Server, error) {
+	if cfg.Data == nil || cfg.Split == nil {
+		return nil, errors.New("server: Data and Split are required")
+	}
+	if cfg.Factory == nil || cfg.Strategy == nil {
+		return nil, errors.New("server: Factory and Strategy are required")
+	}
+	s := &Server{
+		cfg:     cfg,
+		labeled: append([]int{}, cfg.Split.Initial...),
+		pool:    append([]int{}, cfg.Split.Pool...),
+		yOf:     map[int]int{},
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		pending: -1,
+	}
+	for _, i := range s.labeled {
+		s.yOf[i] = cfg.Data.Y[i]
+	}
+	if err := s.retrain(); err != nil {
+		return nil, err
+	}
+	s.score()
+	return s, nil
+}
+
+// retrain refits the model on the current labeled set. Callers hold mu
+// (or run before the server is shared).
+func (s *Server) retrain() error {
+	x := make([][]float64, len(s.labeled))
+	y := make([]int, len(s.labeled))
+	for k, i := range s.labeled {
+		x[k] = s.cfg.Data.X[i]
+		y[k] = s.yOf[i]
+	}
+	m := s.cfg.Factory()
+	if err := m.Fit(x, y, len(s.cfg.Data.Classes)); err != nil {
+		return fmt.Errorf("server: retraining: %w", err)
+	}
+	s.model = m
+	return nil
+}
+
+// score evaluates on the split's test set and appends to the history.
+func (s *Server) score() {
+	test := s.cfg.Split.Test
+	if len(test) == 0 {
+		return
+	}
+	x := make([][]float64, len(test))
+	y := make([]int, len(test))
+	for k, i := range test {
+		x[k] = s.cfg.Data.X[i]
+		y[k] = s.cfg.Data.Y[i]
+	}
+	rep, err := eval.EvaluateModel(s.model, x, y, len(s.cfg.Data.Classes), s.cfg.HealthyClass)
+	if err != nil {
+		return
+	}
+	s.history = append(s.history, StatusPoint{
+		Queried:         len(s.history),
+		F1:              rep.MacroF1,
+		FalseAlarmRate:  rep.FalseAlarmRate,
+		AnomalyMissRate: rep.AnomalyMissRate,
+	})
+}
+
+// NextResponse is /api/next's payload.
+type NextResponse struct {
+	ID        int                   `json:"id"`
+	App       string                `json:"app"`
+	Input     int                   `json:"input"`
+	Node      int                   `json:"node"`
+	Classes   []string              `json:"classes"`
+	Probs     []float64             `json:"model_probs"`
+	PoolSize  int                   `json:"pool_size"`
+	Hints     []explain.MetricScore `json:"important_metrics,omitempty"`
+	Exhausted bool                  `json:"exhausted"`
+}
+
+// LabelRequest is /api/label's body.
+type LabelRequest struct {
+	ID    int    `json:"id"`
+	Label string `json:"label"`
+}
+
+// LabelResponse confirms an annotation.
+type LabelResponse struct {
+	Accepted bool        `json:"accepted"`
+	Labeled  int         `json:"labeled_total"`
+	Latest   StatusPoint `json:"latest"`
+}
+
+// DiagnoseRequest is /api/diagnose's body: an already-transformed
+// feature vector.
+type DiagnoseRequest struct {
+	Features []float64 `json:"features"`
+}
+
+// DiagnoseResponse is /api/diagnose's payload.
+type DiagnoseResponse struct {
+	Label      string    `json:"label"`
+	Confidence float64   `json:"confidence"`
+	Probs      []float64 `json:"probs"`
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/next", s.handleNext)
+	mux.HandleFunc("/api/label", s.handleLabel)
+	mux.HandleFunc("/api/status", s.handleStatus)
+	mux.HandleFunc("/api/diagnose", s.handleDiagnose)
+	mux.HandleFunc("/", s.handleIndex)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleNext picks (or re-serves) the sample to annotate.
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pool) == 0 {
+		writeJSON(w, http.StatusOK, NextResponse{ID: -1, Exhausted: true})
+		return
+	}
+	if s.pending < 0 {
+		ctx := &active.QueryContext{
+			Rng:   s.rng,
+			Query: len(s.history) - 1,
+			Meta:  make([]telemetry.RunMeta, len(s.pool)),
+		}
+		for k, i := range s.pool {
+			ctx.Meta[k] = s.cfg.Data.Meta[i]
+		}
+		if s.cfg.Strategy.NeedsProbs() {
+			ctx.Probs = make([][]float64, len(s.pool))
+			for k, i := range s.pool {
+				ctx.Probs[k] = s.model.PredictProba(s.cfg.Data.X[i])
+			}
+		}
+		if fa, ok := s.cfg.Strategy.(active.FeatureAware); ok && fa.NeedsFeatures() {
+			ctx.PoolX = make([][]float64, len(s.pool))
+			for k, i := range s.pool {
+				ctx.PoolX[k] = s.cfg.Data.X[i]
+			}
+			ctx.LabeledX = make([][]float64, len(s.labeled))
+			for k, i := range s.labeled {
+				ctx.LabeledX[k] = s.cfg.Data.X[i]
+			}
+		}
+		pos := s.cfg.Strategy.Next(ctx)
+		if pos < 0 || pos >= len(s.pool) {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("strategy returned position %d", pos))
+			return
+		}
+		s.pending = s.pool[pos]
+	}
+	i := s.pending
+	meta := s.cfg.Data.Meta[i]
+	resp := NextResponse{
+		ID:       i,
+		App:      meta.App,
+		Input:    meta.Input,
+		Node:     meta.Node,
+		Classes:  s.cfg.Data.Classes,
+		Probs:    s.model.PredictProba(s.cfg.Data.X[i]),
+		PoolSize: len(s.pool),
+	}
+	if imp, ok := s.model.(explain.Importancer); ok && s.cfg.FeatureNames != nil {
+		if hints, err := explain.TopMetrics(imp, s.cfg.FeatureNames, s.cfg.Data.X[i], 5); err == nil {
+			resp.Hints = hints
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLabel records an annotation for the pending sample.
+func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req LabelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending < 0 || req.ID != s.pending {
+		writeErr(w, http.StatusConflict, fmt.Errorf("sample %d is not the pending query", req.ID))
+		return
+	}
+	class, ok := s.cfg.Data.ClassIndex(req.Label)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown label %q", req.Label))
+		return
+	}
+	// Move pending from the pool into the labeled set.
+	for k, i := range s.pool {
+		if i == s.pending {
+			s.pool = append(s.pool[:k], s.pool[k+1:]...)
+			break
+		}
+	}
+	s.yOf[s.pending] = class
+	s.labeled = append(s.labeled, s.pending)
+	s.pending = -1
+	if err := s.retrain(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.score()
+	writeJSON(w, http.StatusOK, LabelResponse{
+		Accepted: true,
+		Labeled:  len(s.labeled),
+		Latest:   s.history[len(s.history)-1],
+	})
+}
+
+// handleStatus returns the trajectory so far.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"labeled":   len(s.labeled),
+		"pool":      len(s.pool),
+		"history":   s.history,
+		"classes":   s.cfg.Data.Classes,
+		"strategy":  s.cfg.Strategy.Name(),
+		"test_size": len(s.cfg.Split.Test),
+	})
+}
+
+// handleDiagnose classifies a posted feature vector.
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req DiagnoseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(req.Features) != s.cfg.Data.Dim() {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("expected %d features, got %d", s.cfg.Data.Dim(), len(req.Features)))
+		return
+	}
+	probs := s.model.PredictProba(req.Features)
+	best := ml.Argmax(probs)
+	writeJSON(w, http.StatusOK, DiagnoseResponse{
+		Label:      s.cfg.Data.Classes[best],
+		Confidence: probs[best],
+		Probs:      probs,
+	})
+}
+
+// handleIndex serves the built-in single-page dashboard.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+// indexHTML is a dependency-free annotation page: it polls /api/next,
+// renders the provenance, hints and model probabilities, and posts the
+// chosen label.
+const indexHTML = `<!doctype html>
+<html><head><meta charset="utf-8"><title>ALBADross annotator</title>
+<style>
+body{font-family:sans-serif;max-width:46rem;margin:2rem auto;padding:0 1rem}
+button{margin:0.2rem;padding:0.4rem 0.8rem}
+pre{background:#f4f4f4;padding:0.6rem;overflow:auto}
+</style></head><body>
+<h1>ALBADross annotation console</h1>
+<div id="status"></div>
+<h2>Pending query</h2>
+<pre id="sample">loading…</pre>
+<div id="buttons"></div>
+<script>
+async function refresh(){
+  const st = await (await fetch('/api/status')).json();
+  const h = st.history[st.history.length-1] || {};
+  document.getElementById('status').textContent =
+    'labeled '+st.labeled+' · pool '+st.pool+' · strategy '+st.strategy+
+    ' · F1 '+(h.f1||0).toFixed(3)+' · FAR '+(h.false_alarm_rate||0).toFixed(3);
+  const nx = await (await fetch('/api/next')).json();
+  if(nx.exhausted){document.getElementById('sample').textContent='pool exhausted';return;}
+  document.getElementById('sample').textContent = JSON.stringify(nx, null, 2);
+  const div = document.getElementById('buttons'); div.innerHTML='';
+  for(const c of nx.classes){
+    const b=document.createElement('button'); b.textContent=c;
+    b.onclick=async()=>{await fetch('/api/label',{method:'POST',
+      body:JSON.stringify({id:nx.id,label:c})}); refresh();};
+    div.appendChild(b);
+  }
+}
+refresh();
+</script></body></html>
+`

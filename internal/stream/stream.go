@@ -1,0 +1,161 @@
+// Package stream provides online, sliding-window anomaly diagnosis — the
+// deployment mode of the paper's future work (Sec. VI): instead of
+// diagnosing a completed application run, a deployed instance consumes
+// the node's telemetry as it arrives and emits a diagnosis every stride
+// while the application is still running.
+//
+// A Streamer buffers per-timestep metric readings; once a full window is
+// available it applies the same preparation the offline pipeline uses on
+// whole runs (interpolation of missing readings and differencing of
+// cumulative counters — there are no init/teardown transients to trim
+// inside a steady-state window), extracts features, and hands the vector
+// to the diagnosing function (usually core.Deployment.Diagnose composed
+// with the preprocessor).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"albadross/internal/features"
+	"albadross/internal/telemetry"
+	"albadross/internal/ts"
+)
+
+// Diagnosis is the minimal result surface the streamer forwards.
+type Diagnosis struct {
+	// Label is the diagnosed class.
+	Label string
+	// Confidence is the winning class probability.
+	Confidence float64
+	// WindowEnd is the timestep index (since stream start) of the last
+	// sample in the diagnosed window.
+	WindowEnd int
+}
+
+// DiagnoseFunc turns a raw (extracted, untransformed) feature vector
+// into a (label, confidence) pair; core.Framework.DiagnoseVector and
+// core.Deployment.Diagnose both adapt trivially.
+type DiagnoseFunc func(features []float64) (label string, confidence float64, err error)
+
+// Config assembles a Streamer.
+type Config struct {
+	// Schema describes the incoming metric vector (order matters).
+	Schema []telemetry.Metric
+	// Extractor computes per-metric features on each window.
+	Extractor features.Extractor
+	// Diagnose classifies each window's feature vector.
+	Diagnose DiagnoseFunc
+	// Window is the diagnosis window length in samples (e.g. 300 at
+	// 1 Hz = 5 minutes).
+	Window int
+	// Stride is the hop between diagnoses; 0 defaults to Window (tumbling
+	// windows).
+	Stride int
+}
+
+// Streamer consumes one node's telemetry readings.
+type Streamer struct {
+	cfg   Config
+	buf   [][]float64 // ring of the last Window readings, in arrival order
+	count int         // total samples pushed
+	since int         // samples since the last diagnosis
+}
+
+// New validates the configuration and returns a Streamer.
+func New(cfg Config) (*Streamer, error) {
+	if len(cfg.Schema) == 0 {
+		return nil, errors.New("stream: empty schema")
+	}
+	if cfg.Extractor == nil || cfg.Diagnose == nil {
+		return nil, errors.New("stream: Extractor and Diagnose are required")
+	}
+	if cfg.Window < 8 {
+		return nil, fmt.Errorf("stream: window %d too short (need >= 8)", cfg.Window)
+	}
+	if cfg.Stride <= 0 {
+		cfg.Stride = cfg.Window
+	}
+	return &Streamer{cfg: cfg}, nil
+}
+
+// Push appends one timestep's readings (NaN marks missing metrics).
+// When a window boundary is crossed it returns a diagnosis; otherwise it
+// returns nil.
+func (s *Streamer) Push(values []float64) (*Diagnosis, error) {
+	if len(values) != len(s.cfg.Schema) {
+		return nil, fmt.Errorf("stream: reading has %d metrics, schema %d", len(values), len(s.cfg.Schema))
+	}
+	row := append([]float64{}, values...)
+	s.buf = append(s.buf, row)
+	if len(s.buf) > s.cfg.Window {
+		s.buf = s.buf[1:]
+	}
+	s.count++
+	s.since++
+	if len(s.buf) < s.cfg.Window || s.since < s.cfg.Stride {
+		return nil, nil
+	}
+	s.since = 0
+	return s.diagnoseWindow()
+}
+
+// diagnoseWindow prepares and classifies the current buffer.
+func (s *Streamer) diagnoseWindow() (*Diagnosis, error) {
+	nM := len(s.cfg.Schema)
+	block := ts.NewMultivariate(nM, len(s.buf))
+	for t, row := range s.buf {
+		for m := 0; m < nM; m++ {
+			block.Metrics[m][t] = row[m]
+		}
+	}
+	ts.InterpolateAll(block)
+	if err := ts.DiffCounters(block, telemetry.CumulativeFlags(s.cfg.Schema)); err != nil {
+		return nil, err
+	}
+	vec := features.ExtractSample(s.cfg.Extractor, block)
+	label, conf, err := s.cfg.Diagnose(vec)
+	if err != nil {
+		return nil, err
+	}
+	return &Diagnosis{Label: label, Confidence: conf, WindowEnd: s.count - 1}, nil
+}
+
+// Samples reports how many readings have been pushed.
+func (s *Streamer) Samples() int { return s.count }
+
+// Reset clears the buffer (e.g. between application runs on the node).
+func (s *Streamer) Reset() {
+	s.buf = s.buf[:0]
+	s.count = 0
+	s.since = 0
+}
+
+// Replay feeds a completed node sample through the streamer sample by
+// sample and collects every emitted diagnosis — useful for validating a
+// deployment against recorded telemetry.
+func Replay(s *Streamer, data *ts.Multivariate) ([]*Diagnosis, error) {
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	steps := data.Steps()
+	reading := make([]float64, len(data.Metrics))
+	var out []*Diagnosis
+	for t := 0; t < steps; t++ {
+		for m := range data.Metrics {
+			reading[m] = data.Metrics[m][t]
+		}
+		d, err := s.Push(reading)
+		if err != nil {
+			return nil, err
+		}
+		if d != nil {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// NaN is a convenience for building readings with missing metrics.
+func NaN() float64 { return math.NaN() }

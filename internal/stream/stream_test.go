@@ -1,0 +1,198 @@
+package stream
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"albadross/internal/features/mvts"
+	"albadross/internal/telemetry"
+)
+
+// countingDiagnoser records calls and returns a fixed label.
+type countingDiagnoser struct {
+	calls int
+	dims  []int
+}
+
+func (c *countingDiagnoser) diagnose(v []float64) (string, float64, error) {
+	c.calls++
+	c.dims = append(c.dims, len(v))
+	for _, x := range v {
+		if math.IsInf(x, 0) {
+			return "", 0, errors.New("inf feature")
+		}
+	}
+	return "healthy", 0.9, nil
+}
+
+func newStreamer(t *testing.T, window, stride int) (*Streamer, *countingDiagnoser, []telemetry.Metric) {
+	t.Helper()
+	schema := telemetry.BuildSchema(27)
+	cd := &countingDiagnoser{}
+	s, err := New(Config{
+		Schema:    schema,
+		Extractor: mvts.Extractor{},
+		Diagnose:  cd.diagnose,
+		Window:    window,
+		Stride:    stride,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, cd, schema
+}
+
+func TestStreamerEmitsPerStride(t *testing.T) {
+	s, cd, schema := newStreamer(t, 20, 10)
+	reading := make([]float64, len(schema))
+	emitted := 0
+	for i := 0; i < 60; i++ {
+		for m := range reading {
+			reading[m] = float64(i + m)
+		}
+		d, err := s.Push(reading)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != nil {
+			emitted++
+			if d.Label != "healthy" || d.Confidence != 0.9 {
+				t.Fatalf("bad diagnosis: %+v", d)
+			}
+			if d.WindowEnd != i {
+				t.Fatalf("window end = %d, want %d", d.WindowEnd, i)
+			}
+		}
+	}
+	// First window completes at sample 20, then every 10: 20,30,40,50,60 -> 5 by 60 samples.
+	if emitted != 5 {
+		t.Fatalf("emitted = %d, want 5", emitted)
+	}
+	if cd.calls != emitted {
+		t.Fatalf("diagnose calls = %d", cd.calls)
+	}
+	// Feature vector has 48 features per metric.
+	if cd.dims[0] != 48*len(schema) {
+		t.Fatalf("feature dim = %d", cd.dims[0])
+	}
+}
+
+func TestStreamerTumblingDefault(t *testing.T) {
+	s, cd, schema := newStreamer(t, 16, 0)
+	reading := make([]float64, len(schema))
+	for i := 0; i < 48; i++ {
+		if _, err := s.Push(reading); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cd.calls != 3 {
+		t.Fatalf("tumbling windows: %d diagnoses, want 3", cd.calls)
+	}
+}
+
+func TestStreamerHandlesMissingReadings(t *testing.T) {
+	s, cd, schema := newStreamer(t, 16, 16)
+	reading := make([]float64, len(schema))
+	for i := 0; i < 16; i++ {
+		for m := range reading {
+			if (i+m)%5 == 0 {
+				reading[m] = NaN()
+			} else {
+				reading[m] = float64(i)
+			}
+		}
+		if _, err := s.Push(reading); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cd.calls != 1 {
+		t.Fatalf("calls = %d", cd.calls)
+	}
+}
+
+func TestStreamerValidation(t *testing.T) {
+	schema := telemetry.BuildSchema(27)
+	if _, err := New(Config{Extractor: mvts.Extractor{}, Diagnose: func([]float64) (string, float64, error) { return "", 0, nil }, Window: 16}); err == nil {
+		t.Fatal("empty schema should error")
+	}
+	if _, err := New(Config{Schema: schema, Window: 16}); err == nil {
+		t.Fatal("missing extractor/diagnose should error")
+	}
+	if _, err := New(Config{Schema: schema, Extractor: mvts.Extractor{}, Diagnose: func([]float64) (string, float64, error) { return "", 0, nil }, Window: 2}); err == nil {
+		t.Fatal("tiny window should error")
+	}
+	s, _, _ := newStreamer(t, 16, 8)
+	if _, err := s.Push([]float64{1, 2}); err == nil {
+		t.Fatal("wrong reading width should error")
+	}
+}
+
+func TestStreamerReset(t *testing.T) {
+	s, cd, schema := newStreamer(t, 16, 16)
+	reading := make([]float64, len(schema))
+	for i := 0; i < 10; i++ {
+		if _, err := s.Push(reading); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Reset()
+	if s.Samples() != 0 {
+		t.Fatal("reset should clear the counter")
+	}
+	for i := 0; i < 15; i++ {
+		if _, err := s.Push(reading); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cd.calls != 0 {
+		t.Fatalf("no window should have completed, calls = %d", cd.calls)
+	}
+}
+
+func TestReplayOverGeneratedRun(t *testing.T) {
+	sys := telemetry.Volta(27)
+	samples, err := sys.GenerateRun(telemetry.RunConfig{
+		App: sys.App("CG"), Input: 0, Nodes: 1, Steps: 200, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := &countingDiagnoser{}
+	s, err := New(Config{
+		Schema:    sys.Metrics,
+		Extractor: mvts.Extractor{},
+		Diagnose:  cd.diagnose,
+		Window:    50,
+		Stride:    25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Replay(s, samples[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows complete at samples 50, 75, 100, ..., 200 -> 7 diagnoses.
+	if len(out) != 7 {
+		t.Fatalf("diagnoses = %d, want 7", len(out))
+	}
+	if out[0].WindowEnd != 49 || out[1].WindowEnd != 74 {
+		t.Fatalf("window ends: %d, %d", out[0].WindowEnd, out[1].WindowEnd)
+	}
+}
+
+func TestReplayRejectsRaggedData(t *testing.T) {
+	s, _, _ := newStreamer(t, 16, 16)
+	sys := telemetry.Volta(27)
+	samples, err := sys.GenerateRun(telemetry.RunConfig{
+		App: sys.App("CG"), Input: 0, Nodes: 1, Steps: 100, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples[0].Data.Metrics[3] = samples[0].Data.Metrics[3][:10]
+	if _, err := Replay(s, samples[0].Data); err == nil {
+		t.Fatal("ragged data should be rejected")
+	}
+}

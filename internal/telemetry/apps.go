@@ -1,0 +1,227 @@
+package telemetry
+
+import "fmt"
+
+// Profile is an application's average utilization of each subsystem,
+// expressed as load fractions in [0, 1]. It is the coarse part of the
+// application fingerprint; a per-(app, metric) hash adds fine structure.
+type Profile struct {
+	CPU        float64 // arithmetic intensity
+	Memory     float64 // resident-set pressure
+	Cache      float64 // cache traffic / write-back activity
+	Network    float64 // interconnect traffic
+	Filesystem float64 // shared-FS traffic
+}
+
+// load returns the profile's load for a subsystem. VMStat and Cray map to
+// memory and cache pressure respectively; Cray power follows CPU load and
+// is handled by the generator.
+func (p Profile) load(s Subsystem) float64 {
+	switch s {
+	case Memory, VMStat:
+		return p.Memory
+	case CPU:
+		return p.CPU
+	case Network:
+		return p.Network
+	case Filesystem:
+		return p.Filesystem
+	case Cray:
+		return p.Cache
+	default:
+		return 0
+	}
+}
+
+// InputDeck is one input configuration of an application. Decks rescale
+// the subsystem loads, change the dominant phase period, and re-mix the
+// fine-grained fingerprint, so runs of the same application with different
+// decks are related but not identical — the property Sec. V-B-2 of the
+// paper stresses.
+type InputDeck struct {
+	Name string
+	// LoadScale multiplies the profile's subsystem loads.
+	LoadScale Profile
+	// PeriodScale multiplies the application's phase period.
+	PeriodScale float64
+	// MixWeight in [0,1] controls how strongly this deck re-mixes the
+	// per-metric fingerprint (0: identical to the app's base fingerprint).
+	MixWeight float64
+}
+
+// AppSpec describes one application of the workload catalog (Tables I and
+// II of the paper).
+type AppSpec struct {
+	Name        string
+	Suite       string
+	Description string
+	// Profile is the application's average subsystem utilization.
+	Profile Profile
+	// Period is the dominant compute-phase period in samples (at 1 Hz).
+	Period float64
+	// PhaseAmp is the relative amplitude of the periodic phase structure.
+	PhaseAmp float64
+	// Inputs are the application's input decks (three per app, Sec. IV-A).
+	Inputs []InputDeck
+}
+
+// standardDecks builds the three standard input decks for an application.
+// Deck parameters are deterministic in the application name but distinct
+// per deck.
+func standardDecks(app string) []InputDeck {
+	decks := make([]InputDeck, 3)
+	for d := range decks {
+		id := fmt.Sprintf("input%d", d+1)
+		u := func(tag string) float64 { return unitHash(app, id, tag) }
+		decks[d] = InputDeck{
+			Name: id,
+			LoadScale: Profile{
+				CPU:        0.7 + 0.6*u("cpu"),
+				Memory:     0.7 + 0.6*u("mem"),
+				Cache:      0.7 + 0.6*u("cache"),
+				Network:    0.7 + 0.6*u("net"),
+				Filesystem: 0.7 + 0.6*u("fs"),
+			},
+			PeriodScale: 0.6 + 0.9*u("period"),
+			MixWeight:   0.45 + 0.25*u("mix"),
+		}
+	}
+	return decks
+}
+
+func app(name, suite, desc string, p Profile, period, amp float64) AppSpec {
+	return AppSpec{
+		Name: name, Suite: suite, Description: desc,
+		Profile: p, Period: period, PhaseAmp: amp,
+		Inputs: standardDecks(name),
+	}
+}
+
+// VoltaApps returns the 11-application catalog run on the Volta testbed
+// (Table I): the NAS Parallel Benchmarks, the Mantevo suite, and Kripke.
+// Profiles encode each code's published resource character (e.g. FT is
+// network/memory-bound FFT, LU is cache-sensitive, MiniMD is compute-bound
+// molecular dynamics).
+func VoltaApps() []AppSpec {
+	return []AppSpec{
+		app("BT", "NAS", "Block tri-diagonal solver",
+			Profile{CPU: 0.75, Memory: 0.45, Cache: 0.55, Network: 0.30, Filesystem: 0.05}, 40, 0.25),
+		app("CG", "NAS", "Conjugate gradient",
+			Profile{CPU: 0.55, Memory: 0.60, Cache: 0.70, Network: 0.45, Filesystem: 0.05}, 25, 0.35),
+		app("FT", "NAS", "3D Fast Fourier Transform",
+			Profile{CPU: 0.60, Memory: 0.70, Cache: 0.50, Network: 0.75, Filesystem: 0.08}, 30, 0.45),
+		app("LU", "NAS", "Gauss-Seidel solver",
+			Profile{CPU: 0.70, Memory: 0.50, Cache: 0.75, Network: 0.35, Filesystem: 0.05}, 35, 0.30),
+		app("MG", "NAS", "Multi-grid on meshes",
+			Profile{CPU: 0.55, Memory: 0.75, Cache: 0.60, Network: 0.55, Filesystem: 0.06}, 20, 0.40),
+		app("SP", "NAS", "Scalar penta-diagonal solver",
+			Profile{CPU: 0.72, Memory: 0.48, Cache: 0.58, Network: 0.40, Filesystem: 0.05}, 45, 0.28),
+		app("MiniMD", "Mantevo", "Molecular dynamics",
+			Profile{CPU: 0.85, Memory: 0.35, Cache: 0.45, Network: 0.25, Filesystem: 0.04}, 15, 0.20),
+		app("CoMD", "Mantevo", "Molecular dynamics",
+			Profile{CPU: 0.82, Memory: 0.40, Cache: 0.50, Network: 0.20, Filesystem: 0.04}, 18, 0.22),
+		app("MiniGhost", "Mantevo", "Partial differential equations",
+			Profile{CPU: 0.60, Memory: 0.55, Cache: 0.50, Network: 0.65, Filesystem: 0.06}, 28, 0.38),
+		app("MiniAMR", "Mantevo", "Stencil calculation",
+			Profile{CPU: 0.58, Memory: 0.65, Cache: 0.55, Network: 0.50, Filesystem: 0.10}, 50, 0.50),
+		app("Kripke", "Other", "Particle transport",
+			Profile{CPU: 0.68, Memory: 0.58, Cache: 0.62, Network: 0.42, Filesystem: 0.07}, 22, 0.33),
+	}
+}
+
+// EclipseApps returns the 6-application catalog run on the Eclipse
+// production system (Table II): three real applications and three ECP
+// proxy applications.
+func EclipseApps() []AppSpec {
+	return []AppSpec{
+		app("LAMMPS", "Real", "Molecular dynamics",
+			Profile{CPU: 0.85, Memory: 0.45, Cache: 0.50, Network: 0.35, Filesystem: 0.08}, 20, 0.25),
+		app("HACC", "Real", "Cosmological simulation",
+			Profile{CPU: 0.75, Memory: 0.70, Cache: 0.55, Network: 0.60, Filesystem: 0.12}, 60, 0.45),
+		app("sw4", "Real", "Seismic modeling",
+			Profile{CPU: 0.65, Memory: 0.68, Cache: 0.60, Network: 0.55, Filesystem: 0.15}, 45, 0.40),
+		app("ExaMiniMD", "ECP Proxy", "Molecular dynamics",
+			Profile{CPU: 0.82, Memory: 0.38, Cache: 0.48, Network: 0.28, Filesystem: 0.05}, 18, 0.22),
+		app("SWFFT", "ECP Proxy", "3D Fast Fourier Transform",
+			Profile{CPU: 0.58, Memory: 0.72, Cache: 0.52, Network: 0.78, Filesystem: 0.06}, 32, 0.48),
+		app("sw4lite", "ECP Proxy", "Numerical kernel optimizations",
+			Profile{CPU: 0.68, Memory: 0.62, Cache: 0.64, Network: 0.48, Filesystem: 0.10}, 42, 0.35),
+	}
+}
+
+// SystemSpec describes one simulated HPC system: its scale, its metric
+// schema, its application catalog, and the run-shape parameters used for
+// data collection on it.
+type SystemSpec struct {
+	Name string
+	// TotalNodes is the machine size (52 for Volta, 1488 for Eclipse);
+	// informational, runs use NodeCounts.
+	TotalNodes int
+	// SampleHz is the telemetry sampling rate (1 Hz in the paper).
+	SampleHz float64
+	// Metrics is the per-node metric schema.
+	Metrics []Metric
+	// Apps is the application catalog.
+	Apps []AppSpec
+	// NodeCounts are the allocation sizes used for data collection.
+	NodeCounts []int
+	// MinSteps and MaxSteps bound the run duration in samples.
+	MinSteps, MaxSteps int
+	// Intensities are the anomaly intensity settings used on this system.
+	Intensities []float64
+}
+
+// Volta returns the Volta testbed spec (52-node Cray XC30m) with a schema
+// of approximately nMetrics metrics. The paper collects 721 metrics; pass
+// 721 for paper scale or something smaller (e.g. 54) for laptop-scale
+// experiments — the subsystem structure is preserved either way. Runs are
+// 10-15 minutes over 4 nodes with six anomaly intensities (Sec. IV).
+func Volta(nMetrics int) *SystemSpec {
+	return &SystemSpec{
+		Name:        "volta",
+		TotalNodes:  52,
+		SampleHz:    1,
+		Metrics:     BuildSchema(nMetrics),
+		Apps:        VoltaApps(),
+		NodeCounts:  []int{4},
+		MinSteps:    600,
+		MaxSteps:    900,
+		Intensities: []float64{0.02, 0.05, 0.10, 0.20, 0.50, 1.00},
+	}
+}
+
+// Eclipse returns the Eclipse production-system spec (1488 nodes). The
+// paper collects 806 metrics and runs each application on 4, 8, and 16
+// nodes for 20-45 minutes with 2-3 intensity settings per anomaly.
+func Eclipse(nMetrics int) *SystemSpec {
+	return &SystemSpec{
+		Name:        "eclipse",
+		TotalNodes:  1488,
+		SampleHz:    1,
+		Metrics:     BuildSchema(nMetrics),
+		Apps:        EclipseApps(),
+		NodeCounts:  []int{4, 8, 16},
+		MinSteps:    1200,
+		MaxSteps:    2700,
+		Intensities: []float64{0.10, 0.50, 1.00},
+	}
+}
+
+// App returns the catalog entry with the given name, or nil.
+func (s *SystemSpec) App(name string) *AppSpec {
+	for i := range s.Apps {
+		if s.Apps[i].Name == name {
+			return &s.Apps[i]
+		}
+	}
+	return nil
+}
+
+// AppNames returns the catalog's application names in order.
+func (s *SystemSpec) AppNames() []string {
+	names := make([]string, len(s.Apps))
+	for i := range s.Apps {
+		names[i] = s.Apps[i].Name
+	}
+	return names
+}

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"albadross/internal/ts"
+)
+
+// HealthyLabel is the class label of samples collected with no anomaly
+// injected.
+const HealthyLabel = "healthy"
+
+// Injector perturbs the underlying rate of a metric while an anomaly runs
+// on a node. Implementations live in the hpas package. Modulate returns a
+// multiplicative factor applied to the application-driven rate and an
+// additive term expressed in units of the metric's Scale; both may vary
+// over time (e.g. a memory leak grows, the dial anomaly oscillates).
+type Injector interface {
+	// Name is the anomaly's class label (e.g. "memleak").
+	Name() string
+	// Modulate returns (mul, add) for metric m at step t of a steps-long
+	// run under the given intensity in (0, 1].
+	Modulate(m Metric, t, steps int, intensity float64) (mul, add float64)
+}
+
+// RunMeta records the provenance of one node's sample: which system,
+// application, input deck and allocation produced it, and what (if any)
+// anomaly was injected on that node.
+type RunMeta struct {
+	System    string
+	App       string
+	Input     int // input deck index, 0-based
+	Nodes     int // allocation size
+	Node      int // node index within the allocation
+	RunID     int64
+	Anomaly   string // HealthyLabel or the injected anomaly's name
+	Intensity float64
+}
+
+// Label returns the sample's ground-truth diagnosis label.
+func (m RunMeta) Label() string { return m.Anomaly }
+
+// NodeSample is the telemetry collected on one compute node during one
+// application run — the unit the paper calls a "sample".
+type NodeSample struct {
+	Meta RunMeta
+	Data *ts.Multivariate
+}
+
+// RunConfig configures one simulated application run.
+type RunConfig struct {
+	// App is the application to run (must come from the system catalog).
+	App *AppSpec
+	// Input is the input deck index in [0, len(App.Inputs)).
+	Input int
+	// Nodes is the allocation size.
+	Nodes int
+	// Steps is the run length in samples; 0 picks a length uniformly in
+	// [MinSteps, MaxSteps].
+	Steps int
+	// Injector, when non-nil, runs on node AnomalyNode for the whole run.
+	Injector Injector
+	// Intensity is the anomaly intensity in (0, 1]; ignored when healthy.
+	Intensity float64
+	// AnomalyNode is the node the anomaly runs on (the paper uses the
+	// first allocated node).
+	AnomalyNode int
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// noise parameters of the simulator.
+const (
+	arRho        = 0.8   // AR(1) coefficient of node noise
+	arSigma      = 0.04  // innovation std of node noise
+	missingProb  = 0.004 // probability a sample is lost
+	rampFraction = 60    // head/tail transient length = steps/rampFraction
+)
+
+// TransientSteps returns the length of the initialization/termination
+// transient for a run of the given length; pipelines should trim this many
+// samples from each end (Sec. IV-E-1).
+func TransientSteps(steps int) int {
+	w := steps / rampFraction
+	if w < 5 {
+		w = 5
+	}
+	return w
+}
+
+// GenerateRun simulates one application run and returns one sample per
+// allocated node. Node AnomalyNode carries the anomaly (when an Injector
+// is configured) and is labeled with its name; all other nodes are healthy.
+func (s *SystemSpec) GenerateRun(cfg RunConfig) ([]*NodeSample, error) {
+	if cfg.App == nil {
+		return nil, errors.New("telemetry: RunConfig.App is nil")
+	}
+	if cfg.Input < 0 || cfg.Input >= len(cfg.App.Inputs) {
+		return nil, fmt.Errorf("telemetry: input deck %d out of range for %s", cfg.Input, cfg.App.Name)
+	}
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("telemetry: invalid node count %d", cfg.Nodes)
+	}
+	if cfg.Injector != nil && (cfg.AnomalyNode < 0 || cfg.AnomalyNode >= cfg.Nodes) {
+		return nil, fmt.Errorf("telemetry: anomaly node %d outside allocation of %d", cfg.AnomalyNode, cfg.Nodes)
+	}
+	if cfg.Injector != nil && (cfg.Intensity <= 0 || cfg.Intensity > 1) {
+		return nil, fmt.Errorf("telemetry: intensity %v outside (0,1]", cfg.Intensity)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	steps := cfg.Steps
+	if steps == 0 {
+		steps = s.MinSteps + rng.Intn(s.MaxSteps-s.MinSteps+1)
+	}
+	if steps < 2*TransientSteps(steps)+16 {
+		return nil, fmt.Errorf("telemetry: run of %d steps too short", steps)
+	}
+	deck := cfg.App.Inputs[cfg.Input]
+	period := cfg.App.Period * deck.PeriodScale
+	if period < 4 {
+		period = 4
+	}
+	// Larger allocations push more interconnect traffic per node.
+	netBoost := 1 + 0.15*math.Log2(math.Max(1, float64(cfg.Nodes)/float64(s.NodeCounts[0])))
+
+	samples := make([]*NodeSample, cfg.Nodes)
+	ramp := TransientSteps(steps)
+	for node := 0; node < cfg.Nodes; node++ {
+		data := ts.NewMultivariate(len(s.Metrics), steps)
+		anomalous := cfg.Injector != nil && node == cfg.AnomalyNode
+		// Per-run, per-node phase offset: nodes of the same job are
+		// loosely synchronized.
+		nodePhase := rng.Float64() * 0.4 * math.Pi
+		for mi, metric := range s.Metrics {
+			base := s.baseRate(cfg.App, deck, metric, netBoost, cfg.Nodes)
+			phase0 := nodePhase + 2*math.Pi*unitHash(cfg.App.Name, deck.Name, metric.Name)
+			amp := cfg.App.PhaseAmp * (0.5 + unitHash(cfg.App.Name, metric.Name, "amp"))
+			if metric.Inverted {
+				// Headroom metrics (idle time, free memory, CPU frequency)
+				// sit near their ceiling and barely follow compute phases.
+				amp *= 0.15
+			}
+			ar := 0.0
+			counter := metric.Scale * rng.Float64() * 10 // counter start offset
+			series := data.Metrics[mi]
+			for t := 0; t < steps; t++ {
+				// Application phase structure + AR(1) node noise.
+				ar = arRho*ar + arSigma*rng.NormFloat64()
+				phase := 1 + amp*math.Sin(2*math.Pi*float64(t)/period+phase0)
+				rate := base * phase * (1 + ar)
+				// Init/teardown transients: activity ramps up and down.
+				if t < ramp {
+					f := float64(t+1) / float64(ramp+1)
+					rate *= 0.15 + 0.85*f*f
+					rate *= 1 + 0.5*rng.NormFloat64()*arSigma*10
+				} else if t >= steps-ramp {
+					f := float64(steps-t) / float64(ramp+1)
+					rate *= 0.15 + 0.85*f*f
+					rate *= 1 + 0.5*rng.NormFloat64()*arSigma*10
+				}
+				if anomalous {
+					mul, add := cfg.Injector.Modulate(metric, t, steps, cfg.Intensity)
+					rate = rate*mul + add*metric.Scale
+				}
+				if rate < 0 {
+					rate = 0
+				}
+				if metric.Cumulative {
+					counter += rate
+					series[t] = counter
+				} else {
+					series[t] = rate
+				}
+				if rng.Float64() < missingProb {
+					series[t] = math.NaN()
+				}
+			}
+		}
+		label := HealthyLabel
+		intensity := 0.0
+		if anomalous {
+			label = cfg.Injector.Name()
+			intensity = cfg.Intensity
+		}
+		samples[node] = &NodeSample{
+			Meta: RunMeta{
+				System:    s.Name,
+				App:       cfg.App.Name,
+				Input:     cfg.Input,
+				Nodes:     cfg.Nodes,
+				Node:      node,
+				RunID:     cfg.Seed,
+				Anomaly:   label,
+				Intensity: intensity,
+			},
+			Data: data,
+		}
+	}
+	return samples, nil
+}
+
+// baseRate derives the application-driven steady rate for one metric:
+// coarse subsystem load from the profile, deck rescaling, a fine-grained
+// per-(app, deck, metric) fingerprint, and an allocation-size regime.
+func (s *SystemSpec) baseRate(app *AppSpec, deck InputDeck, m Metric, netBoost float64, nodes int) float64 {
+	load := app.Profile.load(m.Subsystem) * deck.LoadScale.load(m.Subsystem)
+	if m.Subsystem == Network {
+		load *= netBoost
+	}
+	if load > 1.25 {
+		load = 1.25
+	}
+	// Fingerprint: stable per app+metric, partially re-mixed per deck.
+	fBase := 0.5 + unitHash(app.Name, m.Name)
+	fDeck := 0.5 + unitHash(app.Name, deck.Name, m.Name)
+	f := (1-deck.MixWeight)*fBase + deck.MixWeight*fDeck
+	// Allocation-size regimes: on systems collecting data over several
+	// node counts (Eclipse: 4/8/16), the same code behaves differently
+	// per scale — strong/weak scaling shifts per-node rates. This is the
+	// paper's stated source of Eclipse's extra complexity (Sec. V-A).
+	if len(s.NodeCounts) > 1 {
+		f *= 0.7 + 0.6*unitHash(app.Name, m.Name, "nodes", fmt.Sprint(nodes))
+	}
+	if m.Inverted {
+		// Headroom metrics: high load consumes the resource.
+		return m.Scale * math.Max(0.02, 1-0.65*load*f)
+	}
+	return m.Scale * load * f
+}

@@ -1,0 +1,206 @@
+// Package telemetry is the data substrate of the reproduction: a generative
+// simulator of LDMS-style per-node telemetry for the two HPC systems the
+// paper evaluates on (the Volta Cray XC30m testbed and the Eclipse
+// production system at Sandia).
+//
+// The real paper consumes ~700-800 resource-utilization metrics sampled at
+// 1 Hz on every compute node while applications run with and without
+// synthetic HPAS anomalies. That data is proprietary; this package produces
+// a synthetic equivalent with the properties the downstream ML pipeline
+// actually depends on:
+//
+//   - every application has a distinctive multivariate resource-usage
+//     fingerprint (per-metric base rates, periodicity, trends);
+//   - input decks and node counts shift that fingerprint, so models trained
+//     without a deck or an application generalize imperfectly;
+//   - anomalies perturb subsystem-specific metric groups proportionally to
+//     an intensity knob, on top of whatever the application is doing;
+//   - series carry realistic nuisances: AR(1) node noise, cumulative
+//     counters, missing samples, and initialization/termination transients.
+//
+// The simulator is fully deterministic given a seed.
+package telemetry
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Subsystem identifies the metric group a telemetry metric belongs to,
+// mirroring the LDMS sampler sets listed in Sec. IV-B of the paper.
+type Subsystem int
+
+// The subsystems instrumented on Volta and Eclipse.
+const (
+	Memory     Subsystem = iota // meminfo gauges (free, active, cached, ...)
+	VMStat                      // virtual-memory activity counters
+	CPU                         // per-core user/system/idle time counters
+	Network                     // NIC packet/byte counters
+	Filesystem                  // shared-FS operation counters
+	Cray                        // Cray power and cache/write-back counters
+	numSubsystems
+)
+
+// String returns the lower-case subsystem name used in metric names.
+func (s Subsystem) String() string {
+	switch s {
+	case Memory:
+		return "meminfo"
+	case VMStat:
+		return "vmstat"
+	case CPU:
+		return "cpu"
+	case Network:
+		return "network"
+	case Filesystem:
+		return "fs"
+	case Cray:
+		return "cray"
+	default:
+		return fmt.Sprintf("subsystem(%d)", int(s))
+	}
+}
+
+// Metric describes one telemetry channel collected on every node.
+type Metric struct {
+	// Name is the LDMS-style metric name, e.g. "cpu.user.3".
+	Name string
+	// Subsystem is the metric group, which determines how applications
+	// and anomalies drive this metric.
+	Subsystem Subsystem
+	// Cumulative marks monotonically increasing counters. The generator
+	// integrates the underlying rate; the pipeline differences them back
+	// (Sec. IV-E-1).
+	Cumulative bool
+	// Scale is the typical magnitude of the underlying rate, so features
+	// see realistic, heterogeneous units.
+	Scale float64
+	// Inverted marks "headroom" metrics (idle CPU time, free memory) that
+	// move opposite to load.
+	Inverted bool
+}
+
+// subsystemPlan describes how many metrics of a subsystem to emit and how
+// to name them.
+type subsystemPlan struct {
+	sub        Subsystem
+	kinds      []metricKind
+	perKindMin int // at least one instance of each kind
+}
+
+type metricKind struct {
+	name       string
+	cumulative bool
+	scale      float64
+	inverted   bool
+}
+
+var plans = []subsystemPlan{
+	{Memory, []metricKind{
+		{"free", false, 6.4e10, true},
+		{"active", false, 3.2e10, false},
+		{"cached", false, 1.6e10, false},
+		{"dirty", false, 2.0e8, false},
+		{"anon", false, 2.4e10, false},
+		{"slab", false, 4.0e9, false},
+	}, 1},
+	{VMStat, []metricKind{
+		{"pgfault", true, 5.0e4, false},
+		{"pgpgin", true, 2.0e4, false},
+		{"pgpgout", true, 2.0e4, false},
+		{"nr_writeback", false, 1.0e3, false},
+	}, 1},
+	{CPU, []metricKind{
+		{"user", true, 90, false},
+		{"sys", true, 8, false},
+		{"idle", true, 100, true},
+		{"iowait", true, 3, false},
+		{"freq", false, 2.4e9, true},
+	}, 1},
+	{Network, []metricKind{
+		{"rx_packets", true, 1.0e5, false},
+		{"tx_packets", true, 1.0e5, false},
+		{"rx_bytes", true, 1.0e8, false},
+		{"tx_bytes", true, 1.0e8, false},
+	}, 1},
+	{Filesystem, []metricKind{
+		{"open", true, 50, false},
+		{"close", true, 50, false},
+		{"read_b", true, 5.0e6, false},
+		{"write_b", true, 5.0e6, false},
+	}, 1},
+	{Cray, []metricKind{
+		{"power", false, 300, false},
+		{"wb_flits", true, 2.0e6, false},
+		{"cache_miss", true, 1.0e6, false},
+		{"mem_bw", true, 8.0e9, false},
+	}, 1},
+}
+
+// BuildSchema constructs a metric schema with approximately total metrics,
+// distributed over the six subsystems in the proportions of the plans
+// above. When total exceeds the number of base kinds, additional numbered
+// instances are emitted (e.g. per-core CPU counters), mimicking how LDMS
+// expands per-core and per-device channels. The schema is deterministic.
+func BuildSchema(total int) []Metric {
+	base := 0
+	for _, p := range plans {
+		base += len(p.kinds)
+	}
+	if total < base {
+		total = base
+	}
+	// Replication factor per subsystem, proportional to its kind count.
+	out := make([]Metric, 0, total)
+	reps := total / base
+	extra := total - reps*base
+	for _, p := range plans {
+		for _, k := range p.kinds {
+			n := reps
+			if extra > 0 {
+				n++
+				extra--
+			}
+			for inst := 0; inst < n; inst++ {
+				name := fmt.Sprintf("%s.%s", p.sub, k.name)
+				if n > 1 {
+					name = fmt.Sprintf("%s.%d", name, inst)
+				}
+				out = append(out, Metric{
+					Name:       name,
+					Subsystem:  p.sub,
+					Cumulative: k.cumulative,
+					Scale:      k.scale,
+					Inverted:   k.inverted,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CumulativeFlags returns the per-metric cumulative mask for a schema, in
+// the shape ts.DiffCounters expects.
+func CumulativeFlags(schema []Metric) []bool {
+	flags := make([]bool, len(schema))
+	for i, m := range schema {
+		flags[i] = m.Cumulative
+	}
+	return flags
+}
+
+// hash64 returns a deterministic 64-bit hash of the concatenated parts,
+// used to derive stable per-(application, metric, deck) fingerprints.
+func hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		_, _ = h.Write([]byte(p))
+		_, _ = h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// unitHash maps a hash to a deterministic pseudo-uniform value in [0, 1).
+func unitHash(parts ...string) float64 {
+	return float64(hash64(parts...)%1_000_003) / 1_000_003.0
+}

@@ -1,0 +1,288 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBuildSchemaCounts(t *testing.T) {
+	schema := BuildSchema(54)
+	if len(schema) != 54 {
+		t.Fatalf("schema size = %d, want 54", len(schema))
+	}
+	// Asking for fewer than the base kinds still yields every kind once.
+	small := BuildSchema(1)
+	if len(small) != 27 {
+		t.Fatalf("minimal schema = %d metrics, want 27 base kinds", len(small))
+	}
+	// All six subsystems present.
+	seen := map[Subsystem]bool{}
+	for _, m := range small {
+		seen[m.Subsystem] = true
+	}
+	if len(seen) != int(numSubsystems) {
+		t.Fatalf("subsystems present = %d, want %d", len(seen), numSubsystems)
+	}
+}
+
+func TestBuildSchemaDeterministicAndUniqueNames(t *testing.T) {
+	a := BuildSchema(100)
+	b := BuildSchema(100)
+	names := map[string]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schema not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if names[a[i].Name] {
+			t.Fatalf("duplicate metric name %q", a[i].Name)
+		}
+		names[a[i].Name] = true
+	}
+}
+
+func TestCumulativeFlags(t *testing.T) {
+	schema := BuildSchema(27)
+	flags := CumulativeFlags(schema)
+	for i, m := range schema {
+		if flags[i] != m.Cumulative {
+			t.Fatalf("flag mismatch at %d", i)
+		}
+	}
+}
+
+func TestSystemCatalogs(t *testing.T) {
+	v := Volta(54)
+	if len(v.Apps) != 11 {
+		t.Fatalf("volta apps = %d, want 11", len(v.Apps))
+	}
+	e := Eclipse(54)
+	if len(e.Apps) != 6 {
+		t.Fatalf("eclipse apps = %d, want 6", len(e.Apps))
+	}
+	for _, sys := range []*SystemSpec{v, e} {
+		for _, a := range sys.Apps {
+			if len(a.Inputs) != 3 {
+				t.Fatalf("%s/%s has %d input decks, want 3", sys.Name, a.Name, len(a.Inputs))
+			}
+		}
+	}
+	if v.App("Kripke") == nil || v.App("nope") != nil {
+		t.Fatal("App lookup broken")
+	}
+	if len(v.AppNames()) != 11 || v.AppNames()[0] != "BT" {
+		t.Fatal("AppNames broken")
+	}
+	if len(e.NodeCounts) != 3 {
+		t.Fatalf("eclipse node counts = %v, want 4/8/16", e.NodeCounts)
+	}
+}
+
+// fixedInjector is a test double that moves a single metric kind.
+type fixedInjector struct{ kind string }
+
+func (f fixedInjector) Name() string { return "test-anomaly" }
+func (f fixedInjector) Modulate(m Metric, t, steps int, intensity float64) (float64, float64) {
+	if strings.Contains(m.Name, f.kind) {
+		return 1 + 5*intensity, 0
+	}
+	return 1, 0
+}
+
+func TestGenerateRunShapeAndLabels(t *testing.T) {
+	sys := Volta(54)
+	cfg := RunConfig{
+		App: sys.App("CG"), Input: 1, Nodes: 4, Steps: 300,
+		Injector: fixedInjector{"user"}, Intensity: 0.5, AnomalyNode: 0, Seed: 7,
+	}
+	samples, err := sys.GenerateRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("samples = %d, want 4", len(samples))
+	}
+	for i, s := range samples {
+		if s.Data.Steps() != 300 || len(s.Data.Metrics) != 54 {
+			t.Fatalf("node %d shape = %dx%d", i, len(s.Data.Metrics), s.Data.Steps())
+		}
+		wantLabel := HealthyLabel
+		if i == 0 {
+			wantLabel = "test-anomaly"
+		}
+		if s.Meta.Label() != wantLabel {
+			t.Fatalf("node %d label = %q, want %q", i, s.Meta.Label(), wantLabel)
+		}
+		if s.Meta.App != "CG" || s.Meta.Input != 1 || s.Meta.System != "volta" {
+			t.Fatalf("bad meta: %+v", s.Meta)
+		}
+	}
+	if samples[1].Meta.Intensity != 0 || samples[0].Meta.Intensity != 0.5 {
+		t.Fatal("intensity recorded incorrectly")
+	}
+}
+
+func TestGenerateRunDeterministic(t *testing.T) {
+	sys := Volta(30)
+	cfg := RunConfig{App: sys.App("FT"), Input: 0, Nodes: 2, Steps: 200, Seed: 11}
+	a, err := sys.GenerateRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.GenerateRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range a {
+		for m := range a[n].Data.Metrics {
+			for i := range a[n].Data.Metrics[m] {
+				x, y := a[n].Data.Metrics[m][i], b[n].Data.Metrics[m][i]
+				if x != y && !(math.IsNaN(x) && math.IsNaN(y)) {
+					t.Fatalf("non-deterministic at node %d metric %d step %d", n, m, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateRunCumulativeCountersIncrease(t *testing.T) {
+	sys := Volta(27)
+	cfg := RunConfig{App: sys.App("LU"), Input: 0, Nodes: 1, Steps: 200, Seed: 3}
+	samples, err := sys.GenerateRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi, m := range sys.Metrics {
+		if !m.Cumulative {
+			continue
+		}
+		s := samples[0].Data.Metrics[mi]
+		prev := math.Inf(-1)
+		for t2, v := range s {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < prev-1e-9 {
+				t.Fatalf("counter %s decreased at step %d: %v -> %v", m.Name, t2, prev, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestGenerateRunAnomalyFootprint(t *testing.T) {
+	// The injected node's targeted metric should sit well above the
+	// healthy nodes' after the transient.
+	sys := Volta(27)
+	inj := fixedInjector{"cray.mem_bw"}
+	cfg := RunConfig{
+		App: sys.App("MG"), Input: 0, Nodes: 4, Steps: 400,
+		Injector: inj, Intensity: 1, AnomalyNode: 0, Seed: 5,
+	}
+	samples, err := sys.GenerateRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target int = -1
+	for mi, m := range sys.Metrics {
+		if strings.Contains(m.Name, "cray.mem_bw") {
+			target = mi
+			break
+		}
+	}
+	if target == -1 {
+		t.Fatal("no mem_bw metric in schema")
+	}
+	// Compare final counter values (cumulative metric).
+	last := func(n int) float64 {
+		s := samples[n].Data.Metrics[target]
+		for i := len(s) - 1; i >= 0; i-- {
+			if !math.IsNaN(s[i]) {
+				return s[i]
+			}
+		}
+		return math.NaN()
+	}
+	anom, healthy := last(0), last(1)
+	if !(anom > 2*healthy) {
+		t.Fatalf("anomalous counter %v not well above healthy %v", anom, healthy)
+	}
+}
+
+func TestGenerateRunValidation(t *testing.T) {
+	sys := Volta(27)
+	app := sys.App("BT")
+	cases := []RunConfig{
+		{App: nil, Nodes: 1, Steps: 100, Seed: 1},
+		{App: app, Input: 9, Nodes: 1, Steps: 100, Seed: 1},
+		{App: app, Nodes: 0, Steps: 100, Seed: 1},
+		{App: app, Nodes: 2, Steps: 100, Injector: fixedInjector{"x"}, Intensity: 0.5, AnomalyNode: 5, Seed: 1},
+		{App: app, Nodes: 2, Steps: 100, Injector: fixedInjector{"x"}, Intensity: 0, Seed: 1},
+		{App: app, Nodes: 1, Steps: 10, Seed: 1}, // too short
+	}
+	for i, cfg := range cases {
+		if _, err := sys.GenerateRun(cfg); err == nil {
+			t.Fatalf("case %d should have failed: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateRunRandomDuration(t *testing.T) {
+	sys := Volta(27)
+	cfg := RunConfig{App: sys.App("SP"), Input: 0, Nodes: 1, Seed: 9}
+	samples, err := sys.GenerateRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := samples[0].Data.Steps()
+	if steps < sys.MinSteps || steps > sys.MaxSteps {
+		t.Fatalf("steps = %d outside [%d,%d]", steps, sys.MinSteps, sys.MaxSteps)
+	}
+}
+
+func TestTransientSteps(t *testing.T) {
+	if TransientSteps(60) != 5 {
+		t.Fatalf("short runs floor at 5, got %d", TransientSteps(60))
+	}
+	if TransientSteps(1200) != 20 {
+		t.Fatalf("1200-step transient = %d, want 20", TransientSteps(1200))
+	}
+}
+
+func TestAppsHaveDistinctFingerprints(t *testing.T) {
+	// Two different apps should produce measurably different telemetry on
+	// at least some metrics (otherwise classification is impossible).
+	sys := Volta(27)
+	mkMeans := func(appName string) []float64 {
+		cfg := RunConfig{App: sys.App(appName), Input: 0, Nodes: 1, Steps: 200, Seed: 1}
+		samples, err := sys.GenerateRun(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		means := make([]float64, len(sys.Metrics))
+		for mi := range sys.Metrics {
+			s := samples[0].Data.Metrics[mi]
+			sum, n := 0.0, 0
+			for _, v := range s {
+				if !math.IsNaN(v) {
+					sum += v
+					n++
+				}
+			}
+			means[mi] = sum / float64(n)
+		}
+		return means
+	}
+	a := mkMeans("MiniMD")
+	b := mkMeans("FT")
+	diff := 0
+	for i := range a {
+		rel := math.Abs(a[i]-b[i]) / (math.Abs(a[i]) + math.Abs(b[i]) + 1e-12)
+		if rel > 0.1 {
+			diff++
+		}
+	}
+	if diff < len(a)/3 {
+		t.Fatalf("only %d/%d metrics differ between apps", diff, len(a))
+	}
+}

@@ -1,0 +1,96 @@
+package ts
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Diff output is non-negative (wrap clamping) and one shorter.
+func TestQuickDiffProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		s := make(Series, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			s = append(s, v)
+		}
+		d := Diff(s)
+		if len(s) >= 2 && len(d) != len(s)-1 {
+			return false
+		}
+		for _, v := range d {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Diff of a cumulative sum recovers the rates exactly (for
+// non-negative rates).
+func TestQuickDiffInvertsCumsum(t *testing.T) {
+	f := func(raw []float64) bool {
+		rates := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			rates = append(rates, math.Abs(math.Mod(v, 1e6)))
+		}
+		if len(rates) == 0 {
+			return true
+		}
+		counter := make(Series, len(rates)+1)
+		for i, r := range rates {
+			counter[i+1] = counter[i] + r
+		}
+		back := Diff(counter)
+		for i := range rates {
+			tol := 1e-9 * (1 + counter[i+1])
+			if math.Abs(back[i]-rates[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interpolation is idempotent — a second pass changes nothing.
+func TestQuickInterpolateIdempotent(t *testing.T) {
+	f := func(raw []float64, mask []bool) bool {
+		s := make(Series, len(raw))
+		for i, v := range raw {
+			if math.IsInf(v, 0) {
+				v = 0
+			}
+			if i < len(mask) && mask[i] {
+				s[i] = math.NaN()
+			} else {
+				s[i] = v
+			}
+		}
+		Interpolate(s)
+		cp := s.Clone()
+		if n := Interpolate(s); n != 0 {
+			return false
+		}
+		for i := range s {
+			if s[i] != cp[i] && !(math.IsNaN(s[i]) && math.IsNaN(cp[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
