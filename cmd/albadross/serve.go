@@ -1,9 +1,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"albadross/internal/active"
 	"albadross/internal/core"
@@ -15,8 +21,10 @@ import (
 
 // serve starts the annotation console (the paper's future-work
 // dashboard): it loads a dataset, builds the Fig. 2 split, trains the
-// initial model, and serves the query/label/status API plus a built-in
-// web page on -addr.
+// initial model, and serves the query/label/status/health API plus a
+// built-in web page on -addr. The HTTP server carries production
+// defaults — read/write timeouts, panic recovery (in the handler tree),
+// and SIGINT/SIGTERM graceful shutdown that drains in-flight requests.
 func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
@@ -26,6 +34,8 @@ func serve(args []string) {
 		topK     = fs.Int("topk", 150, "chi-square feature budget")
 		seed     = fs.Int64("seed", 1, "random seed")
 		trees    = fs.Int("trees", 20, "random-forest size")
+		reqTimeo = fs.Duration("request-timeout", 30*time.Second, "per-request read/write timeout")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	)
 	fs.Parse(args)
 	if *dataFile == "" {
@@ -51,6 +61,7 @@ func serve(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	logger := log.New(os.Stderr, "albadross: ", log.LstdFlags)
 	srv, err := server.New(server.Config{
 		Data:  tr,
 		Split: split,
@@ -60,11 +71,37 @@ func serve(args []string) {
 		Strategy:     strat,
 		FeatureNames: prep.Names,
 		Seed:         *seed + 7,
+		Log:          logger,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadTimeout:       *reqTimeo,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      *reqTimeo,
+		IdleTimeout:       2 * *reqTimeo,
+		ErrorLog:          logger,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("annotation console on http://%s/ (pool %d, initial %d, test %d, strategy %s)\n",
 		*addr, len(split.Pool), len(split.Initial), len(split.Test), strat.Name())
-	fatal(http.ListenAndServe(*addr, srv.Handler()))
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		stop()
+		logger.Printf("shutting down, draining for up to %s", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("forced shutdown: %v", err)
+			_ = httpSrv.Close()
+		}
+	}
 }

@@ -9,7 +9,8 @@
 //
 // Artifacts: table4, table5, fig3, fig4, fig5, fig6, fig7, fig8,
 // ablation (the Sec. IV-E-1 feature-budget sweep), extensions (custom
-// query strategies vs the paper's best), or all.
+// query strategies vs the paper's best), chaos (the telemetry
+// fault-injection robustness matrix), or all.
 // Figures 3/4/6/7/8 default to the Volta dataset and fig5 to Eclipse,
 // matching the paper; tables run on the system given by -system.
 package main
@@ -70,6 +71,9 @@ func artifacts() []artifact {
 		}},
 		{"extensions", "volta", func(cfg experiments.Config, sc experiments.Scale) (summarizer, error) {
 			return experiments.RunExtensions(cfg)
+		}},
+		{"chaos", "volta", func(cfg experiments.Config, sc experiments.Scale) (summarizer, error) {
+			return experiments.RunChaosMatrix(cfg, experiments.ChaosDefaults(sc))
 		}},
 	}
 }

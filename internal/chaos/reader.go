@@ -1,0 +1,48 @@
+package chaos
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// CorruptCSV mangles a serialized LDMS CSV file the way crash-truncated
+// or half-synced store files arrive in practice: data lines are deleted,
+// individual cells are replaced with unparseable garbage, lines are cut
+// mid-field, and the file tail may be chopped. Header lines (#meta,
+// #Time) are preserved so the damage targets the parser's row handling.
+// Intensity 0 returns the input unchanged; the result is deterministic
+// in (seed, intensity, input).
+func CorruptCSV(seed int64, intensity float64, data []byte) []byte {
+	if intensity <= 0 {
+		return append([]byte{}, data...)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lines := bytes.Split(data, []byte("\n"))
+	var out [][]byte
+	for _, line := range lines {
+		if len(line) == 0 || line[0] == '#' {
+			out = append(out, line)
+			continue
+		}
+		switch {
+		case rng.Float64() < 0.12*intensity:
+			// Line lost entirely.
+			continue
+		case rng.Float64() < 0.12*intensity:
+			// One cell becomes garbage.
+			cells := bytes.Split(line, []byte(","))
+			cells[rng.Intn(len(cells))] = []byte("?!x")
+			out = append(out, bytes.Join(cells, []byte(",")))
+		case rng.Float64() < 0.08*intensity && len(line) > 2:
+			// Line cut mid-field (wrong field count).
+			out = append(out, line[:1+rng.Intn(len(line)-1)])
+		default:
+			out = append(out, line)
+		}
+	}
+	// Tail chop: the writer died before flushing the end of the run.
+	if rng.Float64() < 0.3*intensity && len(out) > 8 {
+		out = out[:len(out)-rng.Intn(len(out)/4+1)]
+	}
+	return bytes.Join(out, []byte("\n"))
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"albadross/internal/chaos"
+)
+
+// chaosCfg shrinks the matrix to unit-test size: few runs, short
+// telemetry, the cheap extractor.
+func chaosCfg() (Config, ChaosOptions) {
+	cfg := Default("volta", Tiny)
+	cfg.Extractor = "mvts"
+	cfg.RunsPerAppInput = 2
+	cfg.Steps = 60
+	cfg.TopK = 40
+	opts := ChaosOptions{
+		Intensities: []float64{0, 0.5, 1},
+		MaxTest:     40,
+		StreamRuns:  2,
+	}
+	return cfg, opts
+}
+
+func TestRunChaosMatrix(t *testing.T) {
+	cfg, opts := chaosCfg()
+	res, err := RunChaosMatrix(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The sweep covers every fault × intensity.
+	wantCells := len(chaos.Kinds()) * len(opts.Intensities)
+	if len(res.Cells) != wantCells {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), wantCells)
+	}
+
+	// Baseline metrics are finite and sane.
+	for _, v := range []float64{res.BaselineF1, res.BaselineFAR, res.BaselineAMR} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+			t.Fatalf("baseline metric out of range: %+v", res)
+		}
+	}
+
+	for _, c := range res.Cells {
+		for _, v := range []float64{c.F1, c.FalseAlarm, c.AnomalyMiss} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+				t.Fatalf("cell %s@%g has out-of-range metric: %+v", c.Fault, c.Intensity, c)
+			}
+		}
+		// Zero-intensity corruption is a no-op, so those cells must match
+		// the fault-free baseline bit for bit.
+		if c.Intensity == 0 {
+			if c.F1 != res.BaselineF1 || c.FalseAlarm != res.BaselineFAR || c.AnomalyMiss != res.BaselineAMR {
+				t.Fatalf("%s@0 diverges from baseline: cell %+v, baseline F1 %v FAR %v AMR %v",
+					c.Fault, c, res.BaselineF1, res.BaselineFAR, res.BaselineAMR)
+			}
+		}
+	}
+
+	// Streaming leg: every window accounted for, nothing dropped.
+	st := res.Stream
+	if st.Runs != opts.StreamRuns {
+		t.Fatalf("stream runs = %d, want %d", st.Runs, opts.StreamRuns)
+	}
+	if st.Windows == 0 {
+		t.Fatal("streaming leg completed no windows")
+	}
+	if st.Diagnosed+st.Abstained != st.Windows {
+		t.Fatalf("stream windows %d != diagnosed %d + abstained %d", st.Windows, st.Diagnosed, st.Abstained)
+	}
+	if st.GapsFilled == 0 {
+		t.Fatal("gap-burst chaos filled no gaps — the fault feed is not reaching the streamer")
+	}
+
+	// Rendering surfaces.
+	sum := res.Summary()
+	if !strings.Contains(sum, "baseline") || !strings.Contains(sum, "stream:") {
+		t.Fatalf("summary incomplete:\n%s", sum)
+	}
+	var csv strings.Builder
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != wantCells+3 {
+		t.Fatalf("csv has %d lines, want %d (header + baseline + cells + stream)", lines, wantCells+3)
+	}
+}
+
+func TestRunChaosMatrixDeterministic(t *testing.T) {
+	cfg, opts := chaosCfg()
+	// A narrower sweep keeps the double run cheap.
+	opts.Kinds = []chaos.Kind{chaos.Drop, chaos.Reorder}
+	opts.MaxTest = 24
+	a, err := RunChaosMatrix(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaosMatrix(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BaselineF1 != b.BaselineF1 || len(a.Cells) != len(b.Cells) {
+		t.Fatal("baseline not reproducible under a fixed seed")
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d differs between identical runs:\n%+v\n%+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+	if a.Stream != b.Stream {
+		t.Fatalf("stream accounting differs:\n%+v\n%+v", a.Stream, b.Stream)
+	}
+}

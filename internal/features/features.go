@@ -9,6 +9,7 @@ package features
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -40,6 +41,23 @@ func VectorNames(e Extractor, metricNames []string) []string {
 		}
 	}
 	return out
+}
+
+// Sanitize replaces every NaN or infinite entry of a feature vector with
+// 0 in place and returns the number of replaced entries. Extractors mark
+// undefined features (skewness of a constant series, trends of an
+// all-NaN window) as NaN by design; consumers that feed models directly —
+// the streaming path, chiefly — sanitize so a degraded window yields a
+// finite vector instead of NaN-poisoning the classifier.
+func Sanitize(v []float64) int {
+	n := 0
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			v[i] = 0
+			n++
+		}
+	}
+	return n
 }
 
 // ExtractSample computes the feature vector of one multivariate sample by

@@ -72,6 +72,47 @@ func TestExtractBatchMatchesSequentialAndOrder(t *testing.T) {
 	}
 }
 
+func TestSanitize(t *testing.T) {
+	v := []float64{1, math.NaN(), math.Inf(1), math.Inf(-1), -2.5}
+	if n := Sanitize(v); n != 3 {
+		t.Fatalf("sanitized %d cells, want 3", n)
+	}
+	want := []float64{1, 0, 0, 0, -2.5}
+	for i := range v {
+		if v[i] != want[i] {
+			t.Fatalf("v = %v, want %v", v, want)
+		}
+	}
+	if n := Sanitize(v); n != 0 {
+		t.Fatal("second pass should find nothing")
+	}
+	if Sanitize(nil) != 0 {
+		t.Fatal("nil vector should be a no-op")
+	}
+}
+
+// Degraded windows — all-NaN and constant series — must extract to a
+// finite vector after Sanitize, whatever non-finite stats the raw
+// extraction produced.
+func TestSanitizeDegradedWindows(t *testing.T) {
+	nan := math.NaN()
+	allNaN := make([]float64, 32)
+	constant := make([]float64, 32)
+	for i := range allNaN {
+		allNaN[i] = nan
+		constant[i] = 7
+	}
+	for _, e := range []Extractor{mvts.Extractor{}, tsfresh.Extractor{}} {
+		v := ExtractSample(e, block(allNaN, constant))
+		Sanitize(v)
+		for i, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("%s: non-finite feature %d after Sanitize", e.Name(), i)
+			}
+		}
+	}
+}
+
 func TestExtractBatchEmpty(t *testing.T) {
 	out := ExtractBatch(mvts.Extractor{}, nil, 4)
 	if len(out) != 0 {

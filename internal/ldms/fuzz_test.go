@@ -1,0 +1,204 @@
+package ldms
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"albadross/internal/telemetry"
+)
+
+// fuzzSchema is a small fixed schema so the fuzzer also exercises the
+// column-mapping path.
+func fuzzSchema() []telemetry.Metric {
+	return []telemetry.Metric{
+		{Name: "cpu.user"},
+		{Name: "mem.free"},
+		{Name: "net.tx", Cumulative: true},
+	}
+}
+
+// FuzzReadCSV asserts the parser never panics and keeps its contract —
+// strict mode returns a sample or an error (never both nil), lenient
+// mode's report is consistent with the sample it returns — no matter
+// what bytes arrive. Run with: go test -fuzz=FuzzReadCSV ./internal/ldms
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("#meta system=volta app=CG input=0 nodes=1 node=0 anomaly=healthy intensity=0 runid=1\n#Time,cpu.user,mem.free,net.tx\n0,1.5,2.5,3\n1,,2.25,4\n"))
+	f.Add([]byte("#Time,cpu.user,mem.free,net.tx\n0,1,2,3\n"))
+	f.Add([]byte("#Time,cpu.user\n0,1\n1,not-a-number\n"))
+	f.Add([]byte("0,1,2,3\n#Time,cpu.user,mem.free,net.tx\n"))
+	f.Add([]byte("#meta input=oops\n#Time,bogus\n0,\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("#Time\n\n"))
+	f.Add([]byte("#Time,cpu.user,mem.free,net.tx\n0,1,2\n1,1,2,3,4\n2,9,9,9\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, schema := range [][]telemetry.Metric{nil, fuzzSchema()} {
+			s, cols, err := ReadCSV(bytes.NewReader(data), schema)
+			if err == nil && (s == nil || s.Data == nil || len(cols) == 0 && len(s.Data.Metrics) > 0) {
+				t.Fatalf("strict parse returned no error and no usable sample (schema=%v)", schema != nil)
+			}
+			ls, _, rep, lerr := ReadCSVOpts(bytes.NewReader(data), schema, Options{Lenient: true, File: "fuzz.csv"})
+			if rep == nil {
+				t.Fatal("lenient parse returned a nil report")
+			}
+			if lerr == nil {
+				if ls == nil || ls.Data == nil {
+					t.Fatal("lenient parse returned no error and no sample")
+				}
+				if rep.Rows != ls.Data.Steps() {
+					t.Fatalf("report says %d rows, sample has %d", rep.Rows, ls.Data.Steps())
+				}
+				if schema != nil && len(ls.Data.Metrics) != len(schema) {
+					t.Fatalf("lenient parse with schema returned %d metrics, want %d", len(ls.Data.Metrics), len(schema))
+				}
+			}
+			// Strict success must imply lenient success on the same bytes.
+			if err == nil && lerr != nil {
+				t.Fatalf("strict parse succeeded but lenient failed: %v", lerr)
+			}
+		}
+	})
+}
+
+func TestLenientRecoversDamagedFile(t *testing.T) {
+	schema := fuzzSchema()
+	src := strings.Join([]string{
+		"#meta system=volta app=CG input=0 nodes=1 node=0 anomaly=healthy intensity=0 runid=7",
+		"#Time,cpu.user,mem.free,net.tx",
+		"0,1.5,2.5,3",
+		"1,1.6,,4",        // missing cell
+		"2,garbage,2.7,5", // bad cell
+		"3,1.8,2.8",       // short row -> skipped
+		"4,1.9,2.9,6",
+	}, "\n") + "\n"
+
+	if _, _, err := ReadCSV(strings.NewReader(src), schema); err == nil {
+		t.Fatal("strict parse should fail on the bad cell")
+	} else if pe, ok := err.(*ParseError); !ok {
+		t.Fatalf("strict error is %T, want *ParseError", err)
+	} else if pe.Line != 5 || pe.Col != 2 {
+		t.Fatalf("strict error located at line %d col %d, want line 5 col 2", pe.Line, pe.Col)
+	}
+
+	s, cols, rep, err := ReadCSVOpts(strings.NewReader(src), schema, Options{Lenient: true, File: "node0.csv"})
+	if err != nil {
+		t.Fatalf("lenient parse failed: %v", err)
+	}
+	if s.Data.Steps() != 4 {
+		t.Fatalf("kept %d rows, want 4", s.Data.Steps())
+	}
+	if rep.Rows != 4 || rep.RowsSkipped != 1 || rep.CellsMissing != 1 || rep.CellsBad != 1 {
+		t.Fatalf("report = %+v, want Rows 4 RowsSkipped 1 CellsMissing 1 CellsBad 1", rep)
+	}
+	if len(rep.Errors) == 0 || !strings.Contains(rep.Errors[0].Error(), "node0.csv:") {
+		t.Fatalf("structured errors missing file:line: %v", rep.Errors)
+	}
+	if len(cols) != len(schema) {
+		t.Fatalf("got %d columns, want %d", len(cols), len(schema))
+	}
+	if !math.IsNaN(s.Data.Metrics[1][1]) || !math.IsNaN(s.Data.Metrics[0][2]) {
+		t.Fatal("missing/bad cells should be NaN")
+	}
+	if s.Meta.RunID != 7 {
+		t.Fatalf("meta not parsed: %+v", s.Meta)
+	}
+}
+
+func TestLenientColumnMapping(t *testing.T) {
+	schema := fuzzSchema()
+	// Columns permuted, one schema column missing, one unknown column.
+	src := "#Time,net.tx,surprise.metric,cpu.user\n0,3,99,1\n1,4,98,2\n"
+	s, _, rep, err := ReadCSVOpts(strings.NewReader(src), schema, Options{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient parse failed: %v", err)
+	}
+	if len(s.Data.Metrics) != 3 {
+		t.Fatalf("want schema-shaped output, got %d metrics", len(s.Data.Metrics))
+	}
+	if s.Data.Metrics[0][0] != 1 || s.Data.Metrics[2][1] != 4 {
+		t.Fatal("permuted columns not matched by name")
+	}
+	for _, v := range s.Data.Metrics[1] {
+		if !math.IsNaN(v) {
+			t.Fatal("missing schema column should be all-NaN")
+		}
+	}
+	if len(rep.MissingCols) != 1 || rep.MissingCols[0] != "mem.free" {
+		t.Fatalf("MissingCols = %v, want [mem.free]", rep.MissingCols)
+	}
+
+	// Strict mode rejects the same file.
+	if _, _, err := ReadCSV(strings.NewReader(src), schema); err == nil {
+		t.Fatal("strict parse should reject mismatched columns")
+	}
+}
+
+func TestMaxErrorsCapsRecordingNotParsing(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("#Time,cpu.user\n")
+	for i := 0; i < 50; i++ {
+		b.WriteString("0,bad\n")
+	}
+	s, _, rep, err := ReadCSVOpts(strings.NewReader(b.String()), nil, Options{Lenient: true, MaxErrors: 5})
+	if err != nil {
+		t.Fatalf("lenient parse failed: %v", err)
+	}
+	if len(rep.Errors) != 5 {
+		t.Fatalf("recorded %d errors, want cap of 5", len(rep.Errors))
+	}
+	if rep.CellsBad != 50 {
+		t.Fatalf("accounted %d bad cells, want all 50", rep.CellsBad)
+	}
+	if s.Data.Steps() != 50 {
+		t.Fatalf("kept %d rows, want 50", s.Data.Steps())
+	}
+}
+
+func TestReadRunDirLenientSkipsDeadFiles(t *testing.T) {
+	dir := t.TempDir()
+	schema := fuzzSchema()
+	good := "#meta node=0\n#Time,cpu.user,mem.free,net.tx\n0,1,2,3\n1,4,5,6\n"
+	dead := "complete nonsense\nno header here\n"
+	if err := os.WriteFile(filepath.Join(dir, "node0.csv"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "node1.csv"), []byte(dead), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ReadRunDir(dir, schema); err == nil {
+		t.Fatal("strict directory read should fail on the dead file")
+	}
+
+	samples, rep, err := ReadRunDirOpts(dir, schema, Options{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient directory read failed: %v", err)
+	}
+	if len(samples) != 1 || samples[0].Meta.Node != 0 {
+		t.Fatalf("want just node0, got %d samples", len(samples))
+	}
+	if len(rep.Errors) == 0 {
+		t.Fatal("dead file left no trace in the merged report")
+	}
+	found := false
+	for _, e := range rep.Errors {
+		if strings.Contains(e.Error(), "node1.csv") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("merged report does not name the dead file: %v", rep.Errors)
+	}
+
+	// A directory of only dead files still fails, even leniently.
+	deadDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(deadDir, "node0.csv"), []byte(dead), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadRunDirOpts(deadDir, schema, Options{Lenient: true}); err == nil {
+		t.Fatal("all-dead directory should still error")
+	}
+}

@@ -67,15 +67,106 @@ func WriteCSV(w io.Writer, s *telemetry.NodeSample, schema []telemetry.Metric) e
 	return bw.Flush()
 }
 
-// ReadCSV parses one node sample. When schema is non-nil the file's
+// ParseError locates one malformed element of an LDMS CSV file.
+type ParseError struct {
+	File string // file name ("" when parsing a plain reader)
+	Line int    // 1-based line number
+	Col  int    // 1-based field number; 0 when the whole line is at fault
+	Msg  string
+}
+
+// Error renders "ldms: <file>:<line>[ col N]: <msg>".
+func (e *ParseError) Error() string {
+	loc := fmt.Sprintf("line %d", e.Line)
+	if e.File != "" {
+		loc = fmt.Sprintf("%s:%d", e.File, e.Line)
+	}
+	if e.Col > 0 {
+		loc += fmt.Sprintf(" col %d", e.Col)
+	}
+	return fmt.Sprintf("ldms: %s: %s", loc, e.Msg)
+}
+
+// ParseReport accounts for the damage a lenient parse tolerated.
+type ParseReport struct {
+	// Rows is the number of data rows kept.
+	Rows int
+	// RowsSkipped counts malformed rows dropped (wrong field count, data
+	// before the header).
+	RowsSkipped int
+	// CellsMissing counts empty cells stored as NaN (ordinary LDMS
+	// missing samples).
+	CellsMissing int
+	// CellsBad counts non-empty unparseable cells stored as NaN.
+	CellsBad int
+	// MissingCols lists schema metrics absent from the file (their
+	// series are all-NaN); only populated when parsing against a schema.
+	MissingCols []string
+	// Errors holds the first MaxErrors structured errors encountered.
+	Errors []*ParseError
+}
+
+// Merge folds another report into r (for directory-level accounting).
+func (r *ParseReport) Merge(o *ParseReport) {
+	if o == nil {
+		return
+	}
+	r.Rows += o.Rows
+	r.RowsSkipped += o.RowsSkipped
+	r.CellsMissing += o.CellsMissing
+	r.CellsBad += o.CellsBad
+	r.MissingCols = append(r.MissingCols, o.MissingCols...)
+	r.Errors = append(r.Errors, o.Errors...)
+}
+
+// Options configures ReadCSVOpts.
+type Options struct {
+	// Lenient skips malformed rows and maps unparseable cells to NaN
+	// instead of failing the whole file; the damage is accounted in the
+	// returned ParseReport. With a schema, lenient mode also matches
+	// file columns to schema metrics by name, tolerating missing and
+	// unknown columns.
+	Lenient bool
+	// File names the input in structured errors.
+	File string
+	// MaxErrors caps the structured errors recorded in the report
+	// (default 20); parsing continues past the cap, only recording
+	// stops.
+	MaxErrors int
+}
+
+// ReadCSV parses one node sample strictly: the first malformed line
+// fails the file with a *ParseError. When schema is non-nil the file's
 // columns must match it exactly (names and order); with a nil schema the
 // columns are taken as-is and returned.
 func ReadCSV(r io.Reader, schema []telemetry.Metric) (*telemetry.NodeSample, []string, error) {
+	s, cols, _, err := ReadCSVOpts(r, schema, Options{})
+	return s, cols, err
+}
+
+// ReadCSVOpts parses one node sample under the given options and reports
+// what the parse tolerated. The report is non-nil whenever parsing got
+// far enough to account for anything, including alongside an error.
+func ReadCSVOpts(r io.Reader, schema []telemetry.Metric, opts Options) (*telemetry.NodeSample, []string, *ParseReport, error) {
+	if opts.MaxErrors <= 0 {
+		opts.MaxErrors = 20
+	}
+	rep := &ParseReport{}
+	record := func(e *ParseError) {
+		if len(rep.Errors) < opts.MaxErrors {
+			rep.Errors = append(rep.Errors, e)
+		}
+	}
+	perr := func(line, col int, format string, args ...interface{}) *ParseError {
+		return &ParseError{File: opts.File, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var meta telemetry.RunMeta
-	var cols []string
-	var rows [][]float64
+	var cols []string     // file column names
+	var colMap []int      // file column -> output metric index (-1 drops)
+	nOut := 0             // output metric count
+	var rows [][]float64  // rows in output metric indexing
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -85,65 +176,159 @@ func ReadCSV(r io.Reader, schema []telemetry.Metric) (*telemetry.NodeSample, []s
 		}
 		switch {
 		case strings.HasPrefix(line, "#meta "):
-			var err error
-			meta, err = parseMeta(strings.TrimPrefix(line, "#meta "))
+			m, err := parseMeta(strings.TrimPrefix(line, "#meta "))
 			if err != nil {
-				return nil, nil, fmt.Errorf("ldms: line %d: %w", lineNo, err)
+				e := perr(lineNo, 0, "%v", err)
+				if !opts.Lenient {
+					return nil, nil, rep, e
+				}
+				record(e)
 			}
+			meta = m
 		case strings.HasPrefix(line, "#Time"):
 			parts := strings.Split(line, ",")
 			cols = parts[1:]
-			if schema != nil {
-				if len(cols) != len(schema) {
-					return nil, nil, fmt.Errorf("ldms: file has %d metric columns, schema expects %d", len(cols), len(schema))
+			if len(cols) == 0 && schema == nil {
+				// A metricless file cannot yield a sample; fatal even in
+				// lenient mode (like a missing header).
+				return nil, nil, rep, perr(lineNo, 0, "header has no metric columns")
+			}
+			var err *ParseError
+			colMap, nOut, err = mapColumns(cols, schema, opts, rep, lineNo)
+			if err != nil {
+				if !opts.Lenient {
+					return nil, nil, rep, err
 				}
-				for i, m := range schema {
-					if cols[i] != m.Name {
-						return nil, nil, fmt.Errorf("ldms: column %d is %q, schema expects %q", i, cols[i], m.Name)
-					}
-				}
+				record(err)
 			}
 		case strings.HasPrefix(line, "#"):
 			// Other comments are ignored.
 		default:
 			if cols == nil {
-				return nil, nil, fmt.Errorf("ldms: line %d: data before #Time header", lineNo)
+				e := perr(lineNo, 0, "data before #Time header")
+				if !opts.Lenient {
+					return nil, nil, rep, e
+				}
+				rep.RowsSkipped++
+				record(e)
+				continue
 			}
 			parts := strings.Split(line, ",")
 			if len(parts) != len(cols)+1 {
-				return nil, nil, fmt.Errorf("ldms: line %d: %d fields, expected %d", lineNo, len(parts), len(cols)+1)
+				e := perr(lineNo, 0, "%d fields, expected %d", len(parts), len(cols)+1)
+				if !opts.Lenient {
+					return nil, nil, rep, e
+				}
+				rep.RowsSkipped++
+				record(e)
+				continue
 			}
-			row := make([]float64, len(cols))
+			row := make([]float64, nOut)
+			for i := range row {
+				row[i] = math.NaN()
+			}
 			for i, cell := range parts[1:] {
+				out := colMap[i]
+				if out < 0 {
+					continue
+				}
 				if cell == "" {
-					row[i] = math.NaN()
+					rep.CellsMissing++
 					continue
 				}
 				v, err := strconv.ParseFloat(cell, 64)
 				if err != nil {
-					return nil, nil, fmt.Errorf("ldms: line %d col %d: %w", lineNo, i+2, err)
+					e := perr(lineNo, i+2, "%v", err)
+					if !opts.Lenient {
+						return nil, nil, rep, e
+					}
+					rep.CellsBad++
+					record(e)
+					continue
 				}
-				row[i] = v
+				row[out] = v
 			}
 			rows = append(rows, row)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, rep, err
 	}
 	if cols == nil {
-		return nil, nil, errors.New("ldms: missing #Time header")
+		return nil, nil, rep, perr(lineNo, 0, "missing #Time header")
 	}
 	if len(rows) == 0 {
-		return nil, nil, errors.New("ldms: no samples")
+		return nil, nil, rep, perr(lineNo, 0, "no samples")
 	}
-	data := ts.NewMultivariate(len(cols), len(rows))
+	rep.Rows = len(rows)
+	data := ts.NewMultivariate(nOut, len(rows))
 	for t, row := range rows {
 		for mi, v := range row {
 			data.Metrics[mi][t] = v
 		}
 	}
-	return &telemetry.NodeSample{Meta: meta, Data: data}, cols, nil
+	outCols := cols
+	if schema != nil {
+		outCols = make([]string, len(schema))
+		for i, m := range schema {
+			outCols[i] = m.Name
+		}
+	}
+	return &telemetry.NodeSample{Meta: meta, Data: data}, outCols, rep, nil
+}
+
+// mapColumns resolves the file's metric columns against the schema,
+// returning the file-column→output-metric map and the output width. In
+// strict mode any mismatch is an error; in lenient mode columns are
+// matched by name, unknown file columns are dropped and missing schema
+// columns become all-NaN series (whole-metric dropout).
+func mapColumns(cols []string, schema []telemetry.Metric, opts Options, rep *ParseReport, lineNo int) ([]int, int, *ParseError) {
+	colMap := make([]int, len(cols))
+	if schema == nil {
+		for i := range colMap {
+			colMap[i] = i
+		}
+		return colMap, len(cols), nil
+	}
+	if !opts.Lenient {
+		if len(cols) != len(schema) {
+			return colMap, len(schema), &ParseError{File: opts.File, Line: lineNo,
+				Msg: fmt.Sprintf("file has %d metric columns, schema expects %d", len(cols), len(schema))}
+		}
+		for i, m := range schema {
+			if cols[i] != m.Name {
+				return colMap, len(schema), &ParseError{File: opts.File, Line: lineNo, Col: i + 2,
+					Msg: fmt.Sprintf("column %d is %q, schema expects %q", i, cols[i], m.Name)}
+			}
+			colMap[i] = i
+		}
+		return colMap, len(schema), nil
+	}
+	byName := make(map[string]int, len(schema))
+	for i, m := range schema {
+		byName[m.Name] = i
+	}
+	present := make([]bool, len(schema))
+	var firstErr *ParseError
+	for i, c := range cols {
+		pos, ok := byName[c]
+		if !ok {
+			colMap[i] = -1
+			if firstErr == nil {
+				firstErr = &ParseError{File: opts.File, Line: lineNo, Col: i + 2,
+					Msg: fmt.Sprintf("unknown column %q dropped", c)}
+			}
+			continue
+		}
+		colMap[i] = pos
+		present[pos] = true
+	}
+	for i, m := range schema {
+		if !present[i] {
+			rep.MissingCols = append(rep.MissingCols, m.Name)
+		}
+	}
+	return colMap, len(schema), firstErr
 }
 
 // parseMeta decodes the space-separated key=value provenance line.
@@ -208,10 +393,21 @@ func WriteRunDir(dir string, samples []*telemetry.NodeSample, schema []telemetry
 
 // ReadRunDir loads every node<N>.csv under dir, sorted by node index.
 func ReadRunDir(dir string, schema []telemetry.Metric) ([]*telemetry.NodeSample, error) {
+	samples, _, err := ReadRunDirOpts(dir, schema, Options{})
+	return samples, err
+}
+
+// ReadRunDirOpts loads every node<N>.csv under dir with the given parse
+// options and returns the samples (sorted by node index) plus a merged
+// parse report. In lenient mode a file that fails entirely (missing
+// header, no rows) is skipped with its error recorded in the report;
+// the call only fails when no file yields a sample.
+func ReadRunDirOpts(dir string, schema []telemetry.Metric, opts Options) ([]*telemetry.NodeSample, *ParseReport, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	agg := &ParseReport{}
 	var samples []*telemetry.NodeSample
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasPrefix(e.Name(), "node") || !strings.HasSuffix(e.Name(), ".csv") {
@@ -219,18 +415,31 @@ func ReadRunDir(dir string, schema []telemetry.Metric) ([]*telemetry.NodeSample,
 		}
 		f, err := os.Open(filepath.Join(dir, e.Name()))
 		if err != nil {
-			return nil, err
+			return nil, agg, err
 		}
-		s, _, err := ReadCSV(f, schema)
+		fileOpts := opts
+		if fileOpts.File == "" {
+			fileOpts.File = e.Name()
+		}
+		s, _, rep, err := ReadCSVOpts(f, schema, fileOpts)
 		f.Close()
+		agg.Merge(rep)
 		if err != nil {
-			return nil, fmt.Errorf("ldms: %s: %w", e.Name(), err)
+			if opts.Lenient {
+				if pe, ok := err.(*ParseError); ok {
+					agg.Errors = append(agg.Errors, pe)
+				} else {
+					agg.Errors = append(agg.Errors, &ParseError{File: fileOpts.File, Msg: err.Error()})
+				}
+				continue
+			}
+			return nil, agg, fmt.Errorf("ldms: %s: %w", e.Name(), err)
 		}
 		samples = append(samples, s)
 	}
 	if len(samples) == 0 {
-		return nil, fmt.Errorf("ldms: no node*.csv files in %s", dir)
+		return nil, agg, fmt.Errorf("ldms: no readable node*.csv files in %s", dir)
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i].Meta.Node < samples[j].Meta.Node })
-	return samples, nil
+	return samples, agg, nil
 }

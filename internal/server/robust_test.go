@@ -1,0 +1,173 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"albadross/internal/active"
+	"albadross/internal/dataset"
+	"albadross/internal/ml"
+	"albadross/internal/ml/forest"
+)
+
+func TestHealthEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var health struct {
+		Status  string `json:"status"`
+		Ready   bool   `json:"ready"`
+		Labeled int    `json:"labeled"`
+		Pool    int    `json:"pool"`
+		UptimeS *int   `json:"uptime_s"`
+	}
+	getJSON(t, ts, "/api/health", &health)
+	if health.Status != "ok" || !health.Ready {
+		t.Fatalf("health = %+v, want ready ok", health)
+	}
+	if health.Labeled == 0 || health.Pool == 0 || health.UptimeS == nil {
+		t.Fatalf("health payload incomplete: %+v", health)
+	}
+
+	// Method guard.
+	resp, err := http.Post(ts.URL+"/api/health", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST health: status %d, want 405", resp.StatusCode)
+	}
+
+	// A server whose model is gone reports not-ready with 503.
+	srv.mu.Lock()
+	srv.model = nil
+	srv.mu.Unlock()
+	resp, err = http.Get(ts.URL + "/api/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("modelless health: status %d, want 503", resp.StatusCode)
+	}
+	var degraded struct {
+		Status string `json:"status"`
+		Ready  bool   `json:"ready"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&degraded); err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Ready || degraded.Status != "training" {
+		t.Fatalf("degraded health = %+v", degraded)
+	}
+}
+
+// panicStrategy blows up inside the handler tree.
+type panicStrategy struct{}
+
+func (panicStrategy) Name() string                  { return "panic" }
+func (panicStrategy) NeedsProbs() bool              { return false }
+func (panicStrategy) Next(*active.QueryContext) int { panic("strategy bug") }
+
+func TestRecoveryMiddleware(t *testing.T) {
+	srv, _ := newTestServer(t)
+	srv.cfg.Strategy = panicStrategy{}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/api/next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("panic response is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if body["error"] != "internal error" {
+		t.Fatalf("panic response leaks detail: %v", body)
+	}
+
+	// The session survives: other endpoints keep serving.
+	var health struct {
+		Ready bool `json:"ready"`
+	}
+	getJSON(t, ts, "/api/health", &health)
+	if !health.Ready {
+		t.Fatal("server unhealthy after a recovered panic")
+	}
+}
+
+// flakyClassifier fails its first Fit calls, then delegates to a real
+// forest.
+type flakyClassifier struct {
+	ml.Classifier
+	fails *int
+	mu    *sync.Mutex
+}
+
+func (f flakyClassifier) Fit(x [][]float64, y []int, nClasses int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if *f.fails > 0 {
+		*f.fails--
+		return errors.New("transient training failure")
+	}
+	return f.Classifier.Fit(x, y, nClasses)
+}
+
+func TestRetrainRetriesTransientFailures(t *testing.T) {
+	_, d := newTestServer(t)
+	split, err := dataset.MakeALSplit(d, dataset.ALSplitConfig{
+		TestFraction: 0.3, AnomalyRatio: 0.10, HealthyClass: 0, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 2
+	var mu sync.Mutex
+	real := forest.NewFactory(forest.Config{NEstimators: 8, MaxDepth: 5, Seed: 3})
+	srv, err := New(Config{
+		Data:  d,
+		Split: split,
+		Factory: func() ml.Classifier {
+			return flakyClassifier{Classifier: real(), fails: &fails, mu: &mu}
+		},
+		Strategy:       active.Uncertainty{},
+		Seed:           4,
+		RetrainRetries: 2,
+		RetrainBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New should survive 2 transient failures with 2 retries: %v", err)
+	}
+	if srv.model == nil {
+		t.Fatal("no model after retried training")
+	}
+
+	// With the budget exhausted every attempt fails and New reports it.
+	fails = 100
+	if _, err := New(Config{
+		Data:  d,
+		Split: split,
+		Factory: func() ml.Classifier {
+			return flakyClassifier{Classifier: real(), fails: &fails, mu: &mu}
+		},
+		Strategy:       active.Uncertainty{},
+		Seed:           4,
+		RetrainRetries: 1,
+		RetrainBackoff: time.Millisecond,
+	}); err == nil {
+		t.Fatal("persistent training failure should surface")
+	}
+}

@@ -22,9 +22,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 	"net/http"
 	"sync"
+	"time"
 
 	"albadross/internal/active"
 	"albadross/internal/dataset"
@@ -51,6 +53,15 @@ type Config struct {
 	FeatureNames []string
 	// Seed drives strategy randomness.
 	Seed int64
+	// RetrainRetries is how many extra retraining attempts a transient
+	// failure gets before the annotation is rejected (default 2).
+	RetrainRetries int
+	// RetrainBackoff is the initial delay between retraining attempts,
+	// doubling per retry (default 50ms).
+	RetrainBackoff time.Duration
+	// Log receives recovered panics and retry notices (default
+	// log.Default()).
+	Log *log.Logger
 }
 
 // Server is the annotation service. Create with New, mount via Handler.
@@ -65,6 +76,7 @@ type Server struct {
 	rng     *rand.Rand
 	pending int // dataset index offered by /api/next; -1 when none
 	history []StatusPoint
+	started time.Time
 }
 
 // StatusPoint is one trajectory entry exposed by /api/status.
@@ -84,6 +96,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Factory == nil || cfg.Strategy == nil {
 		return nil, errors.New("server: Factory and Strategy are required")
 	}
+	if cfg.RetrainRetries <= 0 {
+		cfg.RetrainRetries = 2
+	}
+	if cfg.RetrainBackoff <= 0 {
+		cfg.RetrainBackoff = 50 * time.Millisecond
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.Default()
+	}
 	s := &Server{
 		cfg:     cfg,
 		labeled: append([]int{}, cfg.Split.Initial...),
@@ -91,11 +112,12 @@ func New(cfg Config) (*Server, error) {
 		yOf:     map[int]int{},
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		pending: -1,
+		started: time.Now(),
 	}
 	for _, i := range s.labeled {
 		s.yOf[i] = cfg.Data.Y[i]
 	}
-	if err := s.retrain(); err != nil {
+	if err := s.retrainWithRetry(); err != nil {
 		return nil, err
 	}
 	s.score()
@@ -117,6 +139,25 @@ func (s *Server) retrain() error {
 	}
 	s.model = m
 	return nil
+}
+
+// retrainWithRetry retries transient retraining failures with doubling
+// backoff; the previous model keeps serving while retries run. Callers
+// hold mu (or run before the server is shared).
+func (s *Server) retrainWithRetry() error {
+	var err error
+	backoff := s.cfg.RetrainBackoff
+	for attempt := 0; attempt <= s.cfg.RetrainRetries; attempt++ {
+		if attempt > 0 {
+			s.cfg.Log.Printf("server: retraining attempt %d after error: %v", attempt+1, err)
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err = s.retrain(); err == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 // score evaluates on the split's test set and appends to the history.
@@ -182,15 +223,30 @@ type DiagnoseResponse struct {
 	Probs      []float64 `json:"probs"`
 }
 
-// Handler returns the HTTP handler tree.
+// Handler returns the HTTP handler tree, wrapped in panic recovery so a
+// bug in one request can never take the annotation session down.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/next", s.handleNext)
 	mux.HandleFunc("/api/label", s.handleLabel)
 	mux.HandleFunc("/api/status", s.handleStatus)
 	mux.HandleFunc("/api/diagnose", s.handleDiagnose)
+	mux.HandleFunc("/api/health", s.handleHealth)
 	mux.HandleFunc("/", s.handleIndex)
-	return mux
+	return s.withRecovery(mux)
+}
+
+// withRecovery converts handler panics into logged 500 responses.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.cfg.Log.Printf("server: panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+				writeErr(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -298,7 +354,7 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 	s.yOf[s.pending] = class
 	s.labeled = append(s.labeled, s.pending)
 	s.pending = -1
-	if err := s.retrain(); err != nil {
+	if err := s.retrainWithRetry(); err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -352,6 +408,32 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		Label:      s.cfg.Data.Classes[best],
 		Confidence: probs[best],
 		Probs:      probs,
+	})
+}
+
+// handleHealth is the liveness/readiness probe: cheap, lock-scoped
+// state only, suitable for load-balancer checks.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	s.mu.Lock()
+	ready := s.model != nil
+	labeled, pool := len(s.labeled), len(s.pool)
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if !ready {
+		status = "training"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]interface{}{
+		"status":   status,
+		"ready":    ready,
+		"labeled":  labeled,
+		"pool":     pool,
+		"uptime_s": int(time.Since(s.started).Seconds()),
 	})
 }
 

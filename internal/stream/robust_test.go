@@ -1,0 +1,320 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"albadross/internal/chaos"
+	"albadross/internal/features/mvts"
+	"albadross/internal/telemetry"
+	"albadross/internal/ts"
+)
+
+func newRobustStreamer(t *testing.T, cfg Config) (*Streamer, *countingDiagnoser, []telemetry.Metric) {
+	t.Helper()
+	schema := telemetry.BuildSchema(9)
+	cd := &countingDiagnoser{}
+	cfg.Schema = schema
+	cfg.Extractor = mvts.Extractor{}
+	if cfg.Diagnose == nil {
+		cfg.Diagnose = cd.diagnose
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, cd, schema
+}
+
+func reading(schema []telemetry.Metric, i int) []float64 {
+	row := make([]float64, len(schema))
+	for m := range row {
+		row[m] = float64(i + m)
+	}
+	return row
+}
+
+func TestPushAtInOrderMatchesPush(t *testing.T) {
+	a, cda, schema := newRobustStreamer(t, Config{Window: 16, Stride: 8, Reorder: 4})
+	b, cdb, _ := newRobustStreamer(t, Config{Window: 16, Stride: 8})
+	for i := 0; i < 40; i++ {
+		if _, err := a.PushAt(100+i, reading(schema, i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Push(reading(schema, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cda.calls != cdb.calls {
+		t.Fatalf("PushAt emitted %d diagnoses, Push emitted %d", cda.calls, cdb.calls)
+	}
+	st := a.Stats()
+	if st.Pushed != 40 || st.Duplicates != 0 || st.Late != 0 || st.GapsFilled != 0 {
+		t.Fatalf("clean in-order feed left dirty stats: %+v", st)
+	}
+}
+
+func TestPushAtReordersWithinHorizon(t *testing.T) {
+	s, _, schema := newRobustStreamer(t, Config{Window: 8, Stride: 8, Reorder: 4})
+	// Anchor on 0, then deliver 1..15 with adjacent pairs swapped:
+	// 0, 2, 1, 4, 3, ..., 14, 13, 15. All jitter is within the horizon.
+	order := []int{0}
+	for i := 1; i < 15; i += 2 {
+		order = append(order, i+1, i)
+	}
+	order = append(order, 15)
+	var got []*Diagnosis
+	for _, tt := range order {
+		ds, err := s.PushAt(tt, reading(schema, tt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ds...)
+	}
+	st := s.Stats()
+	if st.Late != 0 || st.GapsFilled != 0 || st.Duplicates != 0 {
+		t.Fatalf("in-horizon jitter mis-accounted: %+v", st)
+	}
+	if len(got) != 2 || st.Windows != 2 {
+		t.Fatalf("want 2 tumbling windows, got %d (stats %+v)", len(got), st)
+	}
+}
+
+func TestPushAtDuplicatesAndLate(t *testing.T) {
+	s, _, schema := newRobustStreamer(t, Config{Window: 8, Stride: 8, Reorder: 2})
+	for i := 0; i < 6; i++ {
+		if _, err := s.PushAt(i, reading(schema, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Timestamp 3 again: a duplicate of a committed slot arrives as "late"
+	// (the frontier has moved past it).
+	if _, err := s.PushAt(3, reading(schema, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// A pending-slot duplicate: deliver 8 (buffered, 7 missing), then 8 again.
+	if _, err := s.PushAt(8, reading(schema, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PushAt(8, reading(schema, 8)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Late != 1 {
+		t.Fatalf("late = %d, want 1", st.Late)
+	}
+	if st.Duplicates != 1 {
+		t.Fatalf("duplicates = %d, want 1", st.Duplicates)
+	}
+}
+
+func TestPushAtFillsGapsBeyondHorizon(t *testing.T) {
+	s, _, schema := newRobustStreamer(t, Config{Window: 8, Stride: 8, Reorder: 3, Gap: GapHoldLast})
+	// Timestamps 0,1,2 then jump to 10: slots 3..6 fall out of the
+	// horizon as maxT advances and must be synthesized as gap rows.
+	for _, tt := range []int{0, 1, 2, 10, 11, 12} {
+		if _, err := s.PushAt(tt, reading(schema, tt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.GapsFilled == 0 {
+		t.Fatalf("no gaps synthesized: %+v", st)
+	}
+	// Flush drains the rest (slots 7..9 plus buffered 10..12).
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.GapsFilled != 7 {
+		t.Fatalf("gaps filled = %d, want 7 (slots 3..9)", st.GapsFilled)
+	}
+	if got := s.Samples(); got != 13 {
+		t.Fatalf("committed %d samples, want 13 (0..12)", got)
+	}
+}
+
+func TestClockSkewIsAnchoredAway(t *testing.T) {
+	s, cd, schema := newRobustStreamer(t, Config{Window: 8, Stride: 8, Reorder: 2})
+	// A constant +1e6 skew must behave exactly like t starting at 0.
+	for i := 0; i < 16; i++ {
+		if _, err := s.PushAt(1_000_000+i, reading(schema, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.GapsFilled != 0 || st.Late != 0 || cd.calls != 2 {
+		t.Fatalf("skewed feed mishandled: stats %+v, calls %d", st, cd.calls)
+	}
+}
+
+func TestGapAbstainPolicy(t *testing.T) {
+	s, cd, schema := newRobustStreamer(t, Config{Window: 8, Stride: 8, Gap: GapAbstain, MaxMissing: 0.3})
+	// First window: half the cells missing -> abstain.
+	for i := 0; i < 8; i++ {
+		row := reading(schema, i)
+		if i%2 == 0 {
+			for m := range row {
+				row[m] = math.NaN()
+			}
+		}
+		d, err := s.Push(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 7 {
+			if d == nil || !d.Abstained || d.Label != AbstainLabel {
+				t.Fatalf("want abstention, got %+v", d)
+			}
+			if d.MissingFrac < 0.4 || d.MissingFrac > 0.6 {
+				t.Fatalf("missing frac = %v, want ~0.5", d.MissingFrac)
+			}
+			if d.Confidence != 0 {
+				t.Fatalf("abstention carries confidence %v", d.Confidence)
+			}
+		}
+	}
+	if cd.calls != 0 {
+		t.Fatal("abstained window must not reach the classifier")
+	}
+	// Second window: clean -> diagnosed.
+	var last *Diagnosis
+	for i := 8; i < 16; i++ {
+		d, err := s.Push(reading(schema, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != nil {
+			last = d
+		}
+	}
+	if last == nil || last.Abstained || last.Label != "healthy" {
+		t.Fatalf("clean window should diagnose, got %+v", last)
+	}
+	st := s.Stats()
+	if st.Windows != 2 || st.Abstained != 1 {
+		t.Fatalf("stats = %+v, want Windows 2 Abstained 1", st)
+	}
+}
+
+func TestNonFiniteConfidenceAbstains(t *testing.T) {
+	s, _, schema := newRobustStreamer(t, Config{
+		Window: 8, Stride: 8,
+		Diagnose: func([]float64) (string, float64, error) { return "cpuoccupy", math.NaN(), nil },
+	})
+	var got *Diagnosis
+	for i := 0; i < 8; i++ {
+		d, err := s.Push(reading(schema, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != nil {
+			got = d
+		}
+	}
+	if got == nil || !got.Abstained || got.Label != AbstainLabel {
+		t.Fatalf("NaN confidence should abstain, got %+v", got)
+	}
+	if st := s.Stats(); st.Abstained != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHoldLastRepairOnDegradedWindow(t *testing.T) {
+	s, cd, schema := newRobustStreamer(t, Config{Window: 8, Stride: 8, Gap: GapHoldLast})
+	// One metric entirely NaN, another frozen; features must stay finite
+	// (the counting diagnoser rejects Inf).
+	for i := 0; i < 8; i++ {
+		row := reading(schema, i)
+		row[0] = math.NaN()
+		row[1] = 42
+		if _, err := s.Push(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cd.calls != 1 {
+		t.Fatalf("degraded window should still diagnose, calls = %d", cd.calls)
+	}
+}
+
+// TestChaoticFeedFullAccounting drives a streamer with the chaos
+// injector's delivery stream (gaps, duplicates, reordering, skew) and
+// checks the end-to-end contract: every completed window is diagnosed or
+// abstained, nothing is silently dropped, and every confidence is
+// finite.
+func TestChaoticFeedFullAccounting(t *testing.T) {
+	sys := telemetry.Volta(9)
+	samples, err := sys.GenerateRun(telemetry.RunConfig{
+		App: sys.App("CG"), Input: 0, Nodes: 1, Steps: 240, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.InterpolateAll(samples[0].Data)
+	inj, err := chaos.New(5,
+		chaos.Fault{Kind: chaos.GapBurst, Intensity: 0.6},
+		chaos.Fault{Kind: chaos.Duplicate, Intensity: 0.4},
+		chaos.Fault{Kind: chaos.Reorder, Intensity: 0.6},
+		chaos.Fault{Kind: chaos.ClockSkew, Intensity: 0.5},
+		chaos.Fault{Kind: chaos.Drop, Intensity: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := inj.DeliverStream(samples[0].Data)
+
+	cd := &countingDiagnoser{}
+	s, err := New(Config{
+		Schema:     sys.Metrics,
+		Extractor:  mvts.Extractor{},
+		Diagnose:   cd.diagnose,
+		Window:     32,
+		Stride:     16,
+		Reorder:    8,
+		Gap:        GapAbstain,
+		MaxMissing: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*Diagnosis
+	for _, r := range feed {
+		ds, err := s.PushAt(r.T, r.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ds...)
+	}
+	tail, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, tail...)
+
+	st := s.Stats()
+	if len(got) != st.Windows {
+		t.Fatalf("returned %d diagnoses for %d completed windows", len(got), st.Windows)
+	}
+	if st.Windows == 0 {
+		t.Fatal("chaotic feed completed no windows")
+	}
+	diagnosed := 0
+	for _, d := range got {
+		if math.IsNaN(d.Confidence) || math.IsInf(d.Confidence, 0) {
+			t.Fatalf("non-finite confidence: %+v", d)
+		}
+		if math.IsNaN(d.MissingFrac) {
+			t.Fatalf("non-finite missing fraction: %+v", d)
+		}
+		if !d.Abstained {
+			diagnosed++
+		}
+	}
+	if diagnosed+st.Abstained != st.Windows {
+		t.Fatalf("windows %d != diagnosed %d + abstained %d", st.Windows, diagnosed, st.Abstained)
+	}
+	// Delivery accounting covers the whole feed.
+	if st.Pushed+st.Duplicates+st.Late != len(feed) {
+		t.Fatalf("feed of %d readings accounted as pushed %d + dup %d + late %d",
+			len(feed), st.Pushed, st.Duplicates, st.Late)
+	}
+}

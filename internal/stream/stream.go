@@ -6,11 +6,21 @@
 //
 // A Streamer buffers per-timestep metric readings; once a full window is
 // available it applies the same preparation the offline pipeline uses on
-// whole runs (interpolation of missing readings and differencing of
-// cumulative counters — there are no init/teardown transients to trim
-// inside a steady-state window), extracts features, and hands the vector
-// to the diagnosing function (usually core.Deployment.Diagnose composed
-// with the preprocessor).
+// whole runs (repair of missing readings and differencing of cumulative
+// counters — there are no init/teardown transients to trim inside a
+// steady-state window), extracts features, and hands the vector to the
+// diagnosing function (usually core.Deployment.Diagnose composed with
+// the preprocessor).
+//
+// Production telemetry does not arrive clean: samples are lost, delivered
+// twice, or delivered out of order. Two hardening layers make the
+// streamer safe on such input. PushAt accepts timestamped readings
+// through a bounded reordering buffer that re-sequences late arrivals,
+// drops duplicates, and synthesizes explicit gap rows for samples that
+// never arrive. A GapPolicy then decides how a window with missing data
+// is repaired — interpolated, held at the last reading, or refused with
+// an explicit abstain diagnosis — so every completed window is accounted
+// for: diagnosed or abstained, never dropped and never NaN.
 package stream
 
 import (
@@ -23,15 +33,56 @@ import (
 	"albadross/internal/ts"
 )
 
+// AbstainLabel is the label of a window the streamer declined to
+// diagnose because too much telemetry was missing (GapAbstain policy) or
+// the classifier returned a non-finite confidence.
+const AbstainLabel = "abstain"
+
+// GapPolicy selects how missing samples inside a window are repaired
+// before feature extraction.
+type GapPolicy int
+
+const (
+	// GapInterpolate linearly interpolates gaps (offline-pipeline
+	// parity; the default).
+	GapInterpolate GapPolicy = iota
+	// GapHoldLast propagates the last finite reading forward — the
+	// causal repair a live deployment can actually compute.
+	GapHoldLast
+	// GapAbstain interpolates when the window's missing fraction is at
+	// most MaxMissing and otherwise emits an explicit abstain diagnosis
+	// instead of guessing on mostly-absent data.
+	GapAbstain
+)
+
+// String names the policy.
+func (g GapPolicy) String() string {
+	switch g {
+	case GapInterpolate:
+		return "interpolate"
+	case GapHoldLast:
+		return "hold-last"
+	case GapAbstain:
+		return "abstain"
+	default:
+		return fmt.Sprintf("gap-policy(%d)", int(g))
+	}
+}
+
 // Diagnosis is the minimal result surface the streamer forwards.
 type Diagnosis struct {
-	// Label is the diagnosed class.
+	// Label is the diagnosed class, or AbstainLabel.
 	Label string
-	// Confidence is the winning class probability.
+	// Confidence is the winning class probability (0 when abstained).
 	Confidence float64
 	// WindowEnd is the timestep index (since stream start) of the last
 	// sample in the diagnosed window.
 	WindowEnd int
+	// Abstained marks a window the streamer refused to classify.
+	Abstained bool
+	// MissingFrac is the fraction of window cells that were missing
+	// before repair.
+	MissingFrac float64
 }
 
 // DiagnoseFunc turns a raw (extracted, untransformed) feature vector
@@ -53,14 +104,56 @@ type Config struct {
 	// Stride is the hop between diagnoses; 0 defaults to Window (tumbling
 	// windows).
 	Stride int
+	// Reorder is the reordering-buffer horizon for PushAt: a reading may
+	// arrive up to Reorder positions after a newer timestamp and still
+	// be sequenced correctly; once the buffer spans more than Reorder
+	// timestamps the oldest missing slot is declared lost and filled
+	// with an explicit all-NaN gap row. 0 disables buffering (readings
+	// commit immediately in arrival order).
+	Reorder int
+	// Gap selects the missing-data repair policy (default
+	// GapInterpolate).
+	Gap GapPolicy
+	// MaxMissing is the largest fraction of missing cells GapAbstain
+	// tolerates before abstaining; 0 defaults to 0.5.
+	MaxMissing float64
+}
+
+// Stats counts what the streamer absorbed from an imperfect feed.
+type Stats struct {
+	// Pushed counts readings accepted into the sequence (gap fills not
+	// included).
+	Pushed int
+	// Duplicates counts readings dropped because their timestamp was
+	// already delivered.
+	Duplicates int
+	// Late counts readings dropped because they arrived after their
+	// slot had been committed (beyond the reorder horizon).
+	Late int
+	// GapsFilled counts all-NaN rows synthesized for timestamps that
+	// never arrived.
+	GapsFilled int
+	// Windows counts completed windows (diagnosed + abstained).
+	Windows int
+	// Abstained counts windows refused under GapAbstain or on a
+	// non-finite classifier confidence.
+	Abstained int
 }
 
 // Streamer consumes one node's telemetry readings.
 type Streamer struct {
 	cfg   Config
 	buf   [][]float64 // ring of the last Window readings, in arrival order
-	count int         // total samples pushed
+	count int         // total samples committed
 	since int         // samples since the last diagnosis
+
+	// Timestamped-path state (PushAt).
+	anchored bool
+	nextT    int // next claimed timestep to commit
+	pending  map[int][]float64
+	maxT     int // highest claimed timestep buffered or committed
+
+	stats Stats
 }
 
 // New validates the configuration and returns a Streamer.
@@ -77,17 +170,104 @@ func New(cfg Config) (*Streamer, error) {
 	if cfg.Stride <= 0 {
 		cfg.Stride = cfg.Window
 	}
-	return &Streamer{cfg: cfg}, nil
+	if cfg.Reorder < 0 {
+		return nil, fmt.Errorf("stream: negative reorder horizon %d", cfg.Reorder)
+	}
+	if cfg.MaxMissing < 0 || cfg.MaxMissing > 1 {
+		return nil, fmt.Errorf("stream: MaxMissing %v outside [0,1]", cfg.MaxMissing)
+	}
+	if cfg.MaxMissing == 0 {
+		cfg.MaxMissing = 0.5
+	}
+	return &Streamer{cfg: cfg, pending: map[int][]float64{}}, nil
 }
 
-// Push appends one timestep's readings (NaN marks missing metrics).
-// When a window boundary is crossed it returns a diagnosis; otherwise it
-// returns nil.
+// Push appends one timestep's readings in arrival order (NaN marks
+// missing metrics). When a window boundary is crossed it returns a
+// diagnosis; otherwise it returns nil. Push bypasses the reordering
+// buffer — use PushAt for feeds with claimed timestamps.
 func (s *Streamer) Push(values []float64) (*Diagnosis, error) {
 	if len(values) != len(s.cfg.Schema) {
 		return nil, fmt.Errorf("stream: reading has %d metrics, schema %d", len(values), len(s.cfg.Schema))
 	}
-	row := append([]float64{}, values...)
+	s.stats.Pushed++
+	return s.commit(append([]float64{}, values...))
+}
+
+// PushAt delivers one timestamped reading through the bounded reordering
+// buffer. Readings may arrive out of order within the Reorder horizon;
+// duplicates (same timestamp) and readings older than the already-
+// committed frontier are dropped with accounting. A single call can
+// release several buffered readings, so it returns every diagnosis
+// produced. The first accepted reading anchors the timestamp origin, so
+// a constant clock skew shifts nothing.
+func (s *Streamer) PushAt(t int, values []float64) ([]*Diagnosis, error) {
+	if len(values) != len(s.cfg.Schema) {
+		return nil, fmt.Errorf("stream: reading has %d metrics, schema %d", len(values), len(s.cfg.Schema))
+	}
+	if !s.anchored {
+		s.anchored = true
+		s.nextT = t
+		s.maxT = t - 1
+	}
+	if t < s.nextT {
+		s.stats.Late++
+		return nil, nil
+	}
+	if _, dup := s.pending[t]; dup {
+		s.stats.Duplicates++
+		return nil, nil
+	}
+	s.pending[t] = append([]float64{}, values...)
+	if t > s.maxT {
+		s.maxT = t
+	}
+	s.stats.Pushed++
+	return s.drain(false)
+}
+
+// drain commits every pending reading that is either next in sequence
+// or whose gap has outlived the reorder horizon (final drains every
+// remaining slot).
+func (s *Streamer) drain(final bool) ([]*Diagnosis, error) {
+	var out []*Diagnosis
+	for len(s.pending) > 0 {
+		row, ok := s.pending[s.nextT]
+		if !ok {
+			// The slot is missing; give it up only once no in-horizon
+			// arrival could still fill it.
+			if !final && s.maxT-s.nextT < s.cfg.Reorder {
+				break
+			}
+			row = make([]float64, len(s.cfg.Schema))
+			for i := range row {
+				row[i] = math.NaN()
+			}
+			s.stats.GapsFilled++
+		} else {
+			delete(s.pending, s.nextT)
+		}
+		s.nextT++
+		d, err := s.commit(row)
+		if err != nil {
+			return out, err
+		}
+		if d != nil {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// Flush drains the reordering buffer at end-of-stream, filling any
+// remaining gaps, and returns the diagnoses released by the tail.
+func (s *Streamer) Flush() ([]*Diagnosis, error) {
+	return s.drain(true)
+}
+
+// commit appends one in-sequence reading to the window ring and
+// diagnoses when a boundary is crossed.
+func (s *Streamer) commit(row []float64) (*Diagnosis, error) {
 	s.buf = append(s.buf, row)
 	if len(s.buf) > s.cfg.Window {
 		s.buf = s.buf[1:]
@@ -101,8 +281,12 @@ func (s *Streamer) Push(values []float64) (*Diagnosis, error) {
 	return s.diagnoseWindow()
 }
 
-// diagnoseWindow prepares and classifies the current buffer.
+// diagnoseWindow repairs, prepares and classifies the current buffer.
+// Every completed window yields a diagnosis or an explicit abstention;
+// feature vectors are sanitized so degraded windows (all-NaN or constant
+// series) stay finite.
 func (s *Streamer) diagnoseWindow() (*Diagnosis, error) {
+	s.stats.Windows++
 	nM := len(s.cfg.Schema)
 	block := ts.NewMultivariate(nM, len(s.buf))
 	for t, row := range s.buf {
@@ -110,26 +294,59 @@ func (s *Streamer) diagnoseWindow() (*Diagnosis, error) {
 			block.Metrics[m][t] = row[m]
 		}
 	}
-	ts.InterpolateAll(block)
+	missing := float64(ts.CountNaN(block)) / float64(nM*len(s.buf))
+	if s.cfg.Gap == GapAbstain && missing > s.cfg.MaxMissing {
+		s.stats.Abstained++
+		return &Diagnosis{
+			Label: AbstainLabel, Abstained: true,
+			MissingFrac: missing, WindowEnd: s.count - 1,
+		}, nil
+	}
+	if s.cfg.Gap == GapHoldLast {
+		ts.HoldLastAll(block)
+	} else {
+		ts.InterpolateAll(block)
+	}
 	if err := ts.DiffCounters(block, telemetry.CumulativeFlags(s.cfg.Schema)); err != nil {
 		return nil, err
 	}
 	vec := features.ExtractSample(s.cfg.Extractor, block)
+	features.Sanitize(vec)
 	label, conf, err := s.cfg.Diagnose(vec)
 	if err != nil {
 		return nil, err
 	}
-	return &Diagnosis{Label: label, Confidence: conf, WindowEnd: s.count - 1}, nil
+	if math.IsNaN(conf) || math.IsInf(conf, 0) {
+		s.stats.Abstained++
+		return &Diagnosis{
+			Label: AbstainLabel, Abstained: true,
+			MissingFrac: missing, WindowEnd: s.count - 1,
+		}, nil
+	}
+	return &Diagnosis{
+		Label: label, Confidence: conf,
+		WindowEnd: s.count - 1, MissingFrac: missing,
+	}, nil
 }
 
-// Samples reports how many readings have been pushed.
+// Samples reports how many readings have been committed to the window
+// sequence.
 func (s *Streamer) Samples() int { return s.count }
 
-// Reset clears the buffer (e.g. between application runs on the node).
+// Stats returns the delivery/diagnosis accounting so far.
+func (s *Streamer) Stats() Stats { return s.stats }
+
+// Reset clears all buffers and accounting (e.g. between application
+// runs on the node).
 func (s *Streamer) Reset() {
 	s.buf = s.buf[:0]
 	s.count = 0
 	s.since = 0
+	s.anchored = false
+	s.nextT = 0
+	s.maxT = 0
+	s.pending = map[int][]float64{}
+	s.stats = Stats{}
 }
 
 // Replay feeds a completed node sample through the streamer sample by

@@ -122,6 +122,66 @@ func Interpolate(s Series) int {
 	return filled
 }
 
+// HoldLast fills NaN gaps in place by propagating the most recent finite
+// value forward (sample-and-hold) — the conservative gap policy for live
+// streams where the future neighbour interpolation needs has not arrived
+// yet. Leading gaps are backfilled from the first finite value; a series
+// with no finite values becomes all zeros. It returns the number of
+// filled samples.
+func HoldLast(s Series) int {
+	filled := 0
+	first := -1
+	for i, v := range s {
+		if !math.IsNaN(v) {
+			first = i
+			break
+		}
+	}
+	if first == -1 {
+		for i := range s {
+			s[i] = 0
+		}
+		return len(s)
+	}
+	for i := 0; i < first; i++ {
+		s[i] = s[first]
+		filled++
+	}
+	last := s[first]
+	for i := first + 1; i < len(s); i++ {
+		if math.IsNaN(s[i]) {
+			s[i] = last
+			filled++
+		} else {
+			last = s[i]
+		}
+	}
+	return filled
+}
+
+// HoldLastAll applies HoldLast to every metric of the block in place and
+// returns the total number of filled samples.
+func HoldLastAll(m *Multivariate) int {
+	total := 0
+	for _, s := range m.Metrics {
+		total += HoldLast(s)
+	}
+	return total
+}
+
+// CountNaN returns the number of NaN samples in the block.
+func CountNaN(m *Multivariate) int {
+	n := 0
+	for _, s := range m.Metrics {
+		for _, v := range s {
+			if math.IsNaN(v) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // InterpolateAll interpolates every metric of the block in place and
 // returns the total number of filled samples.
 func InterpolateAll(m *Multivariate) int {

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Tier-1 verification gate (see ROADMAP.md): vet, build, race-enabled
+# tests. Run from the repository root; exits non-zero on first failure.
+set -eu
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
