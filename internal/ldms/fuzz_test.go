@@ -34,6 +34,8 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add([]byte(""))
 	f.Add([]byte("#Time\n\n"))
 	f.Add([]byte("#Time,cpu.user,mem.free,net.tx\n0,1,2\n1,1,2,3,4\n2,9,9,9\n"))
+	f.Add([]byte("#Time,a,b\n0,1,2\n#Time,a\n1,1\n"))
+	f.Add([]byte("#Time,a\n0,1\n#Time,a,b\n1,1,2\n#meta input=oops\n2,2\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, schema := range [][]telemetry.Metric{nil, fuzzSchema()} {
 			s, cols, err := ReadCSV(bytes.NewReader(data), schema)
@@ -104,6 +106,49 @@ func TestLenientRecoversDamagedFile(t *testing.T) {
 	}
 	if s.Meta.RunID != 7 {
 		t.Fatalf("meta not parsed: %+v", s.Meta)
+	}
+}
+
+func TestRepeatedTimeHeader(t *testing.T) {
+	// Store rollover / concatenated files repeat the header; a narrower
+	// second header must not re-shape rows collected under the first
+	// (this used to panic building the output block).
+	src := "#Time,a,b\n0,1,2\n#Time,a\n1,1\n2,3,4\n"
+
+	if _, _, err := ReadCSV(strings.NewReader(src), nil); err == nil {
+		t.Fatal("strict parse should reject a repeated #Time header")
+	}
+
+	s, cols, rep, err := ReadCSVOpts(strings.NewReader(src), nil, Options{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient parse failed: %v", err)
+	}
+	if len(cols) != 2 || len(s.Data.Metrics) != 2 {
+		t.Fatalf("output shape %d cols / %d metrics, want the first header's 2", len(cols), len(s.Data.Metrics))
+	}
+	// Rows 0 and 2 match the original header; row 1 (shaped for the
+	// rejected second header) is skipped with accounting.
+	if s.Data.Steps() != 2 || rep.RowsSkipped != 1 {
+		t.Fatalf("kept %d rows, skipped %d; want 2 kept, 1 skipped", s.Data.Steps(), rep.RowsSkipped)
+	}
+	found := false
+	for _, e := range rep.Errors {
+		if strings.Contains(e.Msg, "repeated #Time header") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("repeated header left no trace in the report: %v", rep.Errors)
+	}
+
+	// A corrupt duplicate #meta must not wipe earlier provenance.
+	src = "#meta runid=7\n#Time,a\n0,1\n#meta runid=oops\n1,2\n"
+	s, _, _, err = ReadCSVOpts(strings.NewReader(src), nil, Options{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient parse failed: %v", err)
+	}
+	if s.Meta.RunID != 7 {
+		t.Fatalf("corrupt duplicate #meta wiped provenance: %+v", s.Meta)
 	}
 }
 

@@ -178,14 +178,31 @@ func ReadCSVOpts(r io.Reader, schema []telemetry.Metric, opts Options) (*telemet
 		case strings.HasPrefix(line, "#meta "):
 			m, err := parseMeta(strings.TrimPrefix(line, "#meta "))
 			if err != nil {
+				// Keep provenance from an earlier valid #meta line: a
+				// partially-parsed RunMeta must not wipe it.
 				e := perr(lineNo, 0, "%v", err)
 				if !opts.Lenient {
 					return nil, nil, rep, e
 				}
 				record(e)
+				continue
 			}
 			meta = m
 		case strings.HasPrefix(line, "#Time"):
+			if cols != nil {
+				// A repeated header (store rollover, concatenated files)
+				// cannot re-shape the file mid-way: rows already collected
+				// were sized under the first header, so a narrower or wider
+				// replacement would corrupt the output block. Keep parsing
+				// under the original header; rows matching only the new one
+				// are skipped by the field-count check below.
+				e := perr(lineNo, 0, "repeated #Time header")
+				if !opts.Lenient {
+					return nil, nil, rep, e
+				}
+				record(e)
+				continue
+			}
 			parts := strings.Split(line, ",")
 			cols = parts[1:]
 			if len(cols) == 0 && schema == nil {

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -124,6 +126,104 @@ func (f flakyClassifier) Fit(x [][]float64, y []int, nClasses int) error {
 		return errors.New("transient training failure")
 	}
 	return f.Classifier.Fit(x, y, nClasses)
+}
+
+// blockingClassifier parks Fit until released, signalling entry.
+type blockingClassifier struct {
+	ml.Classifier
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b blockingClassifier) Fit(x [][]float64, y []int, nClasses int) error {
+	b.entered <- struct{}{}
+	<-b.release
+	return b.Classifier.Fit(x, y, nClasses)
+}
+
+func TestHealthRespondsDuringRetrain(t *testing.T) {
+	// A slow (or backing-off) retrain must not hold mu: /api/health has
+	// to keep answering while the candidate model trains.
+	_, d := newTestServer(t)
+	split, err := dataset.MakeALSplit(d, dataset.ALSplitConfig{
+		TestFraction: 0.3, AnomalyRatio: 0.10, HealthyClass: 0, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := forest.NewFactory(forest.Config{NEstimators: 8, MaxDepth: 5, Seed: 3})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	calls := 0
+	var mu sync.Mutex
+	srv, err := New(Config{
+		Data:  d,
+		Split: split,
+		Factory: func() ml.Classifier {
+			mu.Lock()
+			calls++
+			first := calls == 1
+			mu.Unlock()
+			if first {
+				return real() // initial training in New stays unblocked
+			}
+			return blockingClassifier{Classifier: real(), entered: entered, release: release}
+		},
+		Strategy: active.Uncertainty{},
+		Seed:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var next struct {
+		ID      int      `json:"id"`
+		Classes []string `json:"classes"`
+	}
+	getJSON(t, ts, "/api/next", &next)
+
+	labelDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/api/label", "application/json",
+			bytes.NewReader([]byte(`{"id":`+strconv.Itoa(next.ID)+`,"label":"`+next.Classes[0]+`"}`)))
+		if err != nil {
+			labelDone <- -1
+			return
+		}
+		resp.Body.Close()
+		labelDone <- resp.StatusCode
+	}()
+
+	select {
+	case <-entered: // retrain is now in flight, parked inside Fit
+	case <-time.After(5 * time.Second):
+		t.Fatal("retrain never started")
+	}
+	healthDone := make(chan bool, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/api/health")
+		if err != nil {
+			healthDone <- false
+			return
+		}
+		resp.Body.Close()
+		healthDone <- resp.StatusCode == http.StatusOK
+	}()
+	select {
+	case ok := <-healthDone:
+		if !ok {
+			t.Fatal("health check failed during retrain")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("health check blocked behind an in-flight retrain")
+	}
+
+	close(release)
+	if code := <-labelDone; code != http.StatusOK {
+		t.Fatalf("label during slow retrain: status %d", code)
+	}
 }
 
 func TestRetrainRetriesTransientFailures(t *testing.T) {

@@ -117,34 +117,33 @@ func New(cfg Config) (*Server, error) {
 	for _, i := range s.labeled {
 		s.yOf[i] = cfg.Data.Y[i]
 	}
-	if err := s.retrainWithRetry(); err != nil {
+	x, y := s.snapshotTraining()
+	m, err := s.trainCandidate(x, y)
+	if err != nil {
 		return nil, err
 	}
+	s.model = m
 	s.score()
 	return s, nil
 }
 
-// retrain refits the model on the current labeled set. Callers hold mu
-// (or run before the server is shared).
-func (s *Server) retrain() error {
+// snapshotTraining copies the labeled training set for a retrain.
+// Callers hold mu (or run before the server is shared).
+func (s *Server) snapshotTraining() ([][]float64, []int) {
 	x := make([][]float64, len(s.labeled))
 	y := make([]int, len(s.labeled))
 	for k, i := range s.labeled {
 		x[k] = s.cfg.Data.X[i]
 		y[k] = s.yOf[i]
 	}
-	m := s.cfg.Factory()
-	if err := m.Fit(x, y, len(s.cfg.Data.Classes)); err != nil {
-		return fmt.Errorf("server: retraining: %w", err)
-	}
-	s.model = m
-	return nil
+	return x, y
 }
 
-// retrainWithRetry retries transient retraining failures with doubling
-// backoff; the previous model keeps serving while retries run. Callers
-// hold mu (or run before the server is shared).
-func (s *Server) retrainWithRetry() error {
+// trainCandidate fits a fresh model on a training snapshot, retrying
+// transient failures with doubling backoff. It holds no locks — the
+// previous model keeps serving (and /api/health keeps answering) while
+// retries back off; the caller swaps the candidate in under mu.
+func (s *Server) trainCandidate(x [][]float64, y []int) (ml.Classifier, error) {
 	var err error
 	backoff := s.cfg.RetrainBackoff
 	for attempt := 0; attempt <= s.cfg.RetrainRetries; attempt++ {
@@ -153,11 +152,14 @@ func (s *Server) retrainWithRetry() error {
 			time.Sleep(backoff)
 			backoff *= 2
 		}
-		if err = s.retrain(); err == nil {
-			return nil
+		m := s.cfg.Factory()
+		if ferr := m.Fit(x, y, len(s.cfg.Data.Classes)); ferr != nil {
+			err = fmt.Errorf("server: retraining: %w", ferr)
+			continue
 		}
+		return m, nil
 	}
-	return err
+	return nil, err
 }
 
 // score evaluates on the split's test set and appends to the history.
@@ -354,10 +356,18 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 	s.yOf[s.pending] = class
 	s.labeled = append(s.labeled, s.pending)
 	s.pending = -1
-	if err := s.retrainWithRetry(); err != nil {
+	// Train outside the lock: retry backoff must not block the other
+	// endpoints (notably /api/health) behind mu. The previous model
+	// keeps serving until the candidate is swapped in.
+	x, y := s.snapshotTraining()
+	s.mu.Unlock()
+	m, err := s.trainCandidate(x, y)
+	s.mu.Lock()
+	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.model = m
 	s.score()
 	writeJSON(w, http.StatusOK, LabelResponse{
 		Accepted: true,

@@ -134,6 +134,61 @@ func TestPushAtFillsGapsBeyondHorizon(t *testing.T) {
 	}
 }
 
+func TestImplausibleTimestampDropped(t *testing.T) {
+	// A corrupt far-future timestamp must be dropped, not trusted: the
+	// default MaxJump (4*Window+Reorder) would otherwise synthesize one
+	// gap row per skipped timestep up to it.
+	s, _, schema := newRobustStreamer(t, Config{Window: 8, Stride: 8, Reorder: 2})
+	for i := 0; i < 4; i++ {
+		if _, err := s.PushAt(i, reading(schema, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.PushAt(1_000_000_000, reading(schema, 0)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Implausible != 1 {
+		t.Fatalf("implausible = %d, want 1", st.Implausible)
+	}
+	if st.GapsFilled != 0 {
+		t.Fatalf("corrupt timestamp synthesized %d gap rows", st.GapsFilled)
+	}
+	// The stream recovers: in-sequence readings keep committing.
+	for i := 4; i < 8; i++ {
+		if _, err := s.PushAt(i, reading(schema, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Samples(); got != 8 {
+		t.Fatalf("committed %d samples, want 8", got)
+	}
+
+	// A jump at the cap is still trusted and gap-filled.
+	s2, _, _ := newRobustStreamer(t, Config{Window: 8, Stride: 8, Reorder: 2})
+	if _, err := s2.PushAt(0, reading(schema, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.PushAt(1+4*8+2, reading(schema, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := s2.Stats()
+	if st2.Implausible != 0 || st2.GapsFilled != 4*8+2 {
+		t.Fatalf("in-cap jump mishandled: %+v", st2)
+	}
+
+	if _, err := New(Config{Schema: schema, Extractor: mvts.Extractor{},
+		Diagnose: (&countingDiagnoser{}).diagnose, Window: 8, Reorder: 4, MaxJump: 2}); err == nil {
+		t.Fatal("MaxJump below the reorder horizon should be rejected")
+	}
+}
+
 func TestClockSkewIsAnchoredAway(t *testing.T) {
 	s, cd, schema := newRobustStreamer(t, Config{Window: 8, Stride: 8, Reorder: 2})
 	// A constant +1e6 skew must behave exactly like t starting at 0.

@@ -111,6 +111,17 @@ type Config struct {
 	// with an explicit all-NaN gap row. 0 disables buffering (readings
 	// commit immediately in arrival order).
 	Reorder int
+	// MaxJump bounds how far past the commit frontier a claimed
+	// timestamp may plausibly sit. A reading jumping further ahead is
+	// dropped with accounting (Stats.Implausible) instead of trusted —
+	// a single corrupt timestamp must not trigger one synthesized gap
+	// row per skipped timestep all the way to it. 0 defaults to
+	// 4*Window+Reorder; an explicit value must be >= Reorder. The cap
+	// trades outage length for corruption immunity: a feed resuming
+	// after a real gap longer than MaxJump keeps being dropped (visible
+	// as a growing Implausible count) until the caller Resets the
+	// streamer or configures a larger cap.
+	MaxJump int
 	// Gap selects the missing-data repair policy (default
 	// GapInterpolate).
 	Gap GapPolicy
@@ -130,6 +141,10 @@ type Stats struct {
 	// Late counts readings dropped because they arrived after their
 	// slot had been committed (beyond the reorder horizon).
 	Late int
+	// Implausible counts readings dropped because their claimed
+	// timestamp jumped more than MaxJump past the commit frontier
+	// (corrupt clock or bit-flipped timestamp).
+	Implausible int
 	// GapsFilled counts all-NaN rows synthesized for timestamps that
 	// never arrived.
 	GapsFilled int
@@ -173,6 +188,12 @@ func New(cfg Config) (*Streamer, error) {
 	if cfg.Reorder < 0 {
 		return nil, fmt.Errorf("stream: negative reorder horizon %d", cfg.Reorder)
 	}
+	if cfg.MaxJump == 0 {
+		cfg.MaxJump = 4*cfg.Window + cfg.Reorder
+	}
+	if cfg.MaxJump < cfg.Reorder {
+		return nil, fmt.Errorf("stream: MaxJump %d below reorder horizon %d", cfg.MaxJump, cfg.Reorder)
+	}
 	if cfg.MaxMissing < 0 || cfg.MaxMissing > 1 {
 		return nil, fmt.Errorf("stream: MaxMissing %v outside [0,1]", cfg.MaxMissing)
 	}
@@ -196,8 +217,9 @@ func (s *Streamer) Push(values []float64) (*Diagnosis, error) {
 
 // PushAt delivers one timestamped reading through the bounded reordering
 // buffer. Readings may arrive out of order within the Reorder horizon;
-// duplicates (same timestamp) and readings older than the already-
-// committed frontier are dropped with accounting. A single call can
+// duplicates (same timestamp), readings older than the already-committed
+// frontier, and readings claiming a timestamp more than MaxJump ahead of
+// it (implausible clocks) are dropped with accounting. A single call can
 // release several buffered readings, so it returns every diagnosis
 // produced. The first accepted reading anchors the timestamp origin, so
 // a constant clock skew shifts nothing.
@@ -212,6 +234,10 @@ func (s *Streamer) PushAt(t int, values []float64) ([]*Diagnosis, error) {
 	}
 	if t < s.nextT {
 		s.stats.Late++
+		return nil, nil
+	}
+	if t > s.nextT+s.cfg.MaxJump {
+		s.stats.Implausible++
 		return nil, nil
 	}
 	if _, dup := s.pending[t]; dup {
