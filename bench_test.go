@@ -26,6 +26,7 @@ import (
 	"albadross/internal/ml/linear"
 	"albadross/internal/ml/neural"
 	"albadross/internal/ml/tree"
+	"albadross/internal/obs"
 	"albadross/internal/telemetry"
 )
 
@@ -326,4 +327,105 @@ func BenchmarkActiveLearningLoop(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Observability benchmarks --------------------------------------------
+//
+// The obs registry sits on every hot path above, so its own cost must be
+// negligible. BenchmarkObsCounterInc is the acceptance gate: one counter
+// increment well under 100ns. reportStages demonstrates that benchmark
+// runs and server sessions share one snapshot surface: the pipeline-stage
+// histograms populated by the artifact benchmarks are folded into the
+// benchmark output as custom metrics.
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := obs.NewRegistry().Counter(obs.Opts{
+		Name: "bench_counter_total", Help: "bench", Unit: "events",
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsCounterIncParallel(b *testing.B) {
+	c := obs.NewRegistry().Counter(obs.Opts{
+		Name: "bench_counter_total", Help: "bench", Unit: "events",
+	})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := obs.NewRegistry().Histogram(obs.Opts{
+		Name: "bench_seconds", Help: "bench", Unit: "seconds",
+		Buckets: obs.LatencyBuckets,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00042)
+	}
+}
+
+func BenchmarkObsCounterVecWith(b *testing.B) {
+	v := obs.NewRegistry().CounterVec(obs.Opts{
+		Name: "bench_labeled_total", Help: "bench", Unit: "events",
+	}, "endpoint", "code")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("/api/next", "200").Inc()
+	}
+}
+
+func BenchmarkObsSnapshot(b *testing.B) {
+	// Snapshot cost over the real default registry, as /api/metrics pays it.
+	for i := 0; i < b.N; i++ {
+		obs.Default().Snapshot()
+	}
+}
+
+// reportStages folds the pipeline-stage histograms accumulated in the
+// default obs registry into a benchmark's output as custom metrics
+// (mean seconds per operation), so `go test -bench` emits the same
+// stage-level profile a chaos sweep or a server session exposes on
+// /api/metrics.
+func reportStages(b *testing.B, names ...string) {
+	b.Helper()
+	snap := obs.Default().Snapshot()
+	for _, fam := range snap.Families {
+		for _, want := range names {
+			if fam.Name != want {
+				continue
+			}
+			for _, s := range fam.Series {
+				if s.Count == 0 {
+					continue
+				}
+				unit := fam.Name
+				for _, k := range []string{"strategy", "model"} {
+					if v, ok := s.Labels[k]; ok {
+						unit += "{" + k + "=" + v + "}"
+					}
+				}
+				b.ReportMetric(s.Sum/float64(s.Count), unit+"/mean")
+			}
+		}
+	}
+}
+
+func BenchmarkPipelineStageProfile(b *testing.B) {
+	// One Tiny Table-V run per iteration; afterwards, report the mean
+	// stage latencies the run left in the obs registry.
+	cfg := benchCfg("volta")
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportStages(b, "ml_fit_seconds", "ml_predict_seconds",
+		"active_query_seconds", "features_extract_seconds")
 }

@@ -21,8 +21,9 @@ import (
 
 // serve starts the annotation console (the paper's future-work
 // dashboard): it loads a dataset, builds the Fig. 2 split, trains the
-// initial model, and serves the query/label/status/health API plus a
-// built-in web page on -addr. The HTTP server carries production
+// initial model, and serves the query/label/status/health/metrics API
+// plus a built-in web page on -addr (metrics: GET /api/metrics, JSON or
+// Prometheus text; profiling: -pprof mounts /debug/pprof/). The HTTP server carries production
 // defaults — read/write timeouts, panic recovery (in the handler tree),
 // and SIGINT/SIGTERM graceful shutdown that drains in-flight requests.
 func serve(args []string) {
@@ -36,6 +37,7 @@ func serve(args []string) {
 		trees    = fs.Int("trees", 20, "random-forest size")
 		reqTimeo = fs.Duration("request-timeout", 30*time.Second, "per-request read/write timeout")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (see docs/OBSERVABILITY.md)")
 	)
 	fs.Parse(args)
 	if *dataFile == "" {
@@ -72,6 +74,7 @@ func serve(args []string) {
 		FeatureNames: prep.Names,
 		Seed:         *seed + 7,
 		Log:          logger,
+		EnablePprof:  *pprofOn,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,219 @@
+// Command doccheck is the repository's godoc-coverage lint: it fails
+// when a package document surface is incomplete. For every package named
+// on the command line it requires a package comment plus a doc comment
+// on each exported top-level declaration — types, funcs, methods on
+// exported receivers, and each exported const/var (a documented group
+// covers its members). Test files are skipped.
+//
+// Usage:
+//
+//	go run ./cmd/doccheck internal/obs internal/stream internal/server
+//	go run ./cmd/doccheck ./internal/...
+//
+// A trailing /... walks the tree rooted at the prefix. verify.sh runs
+// doccheck over the observability-critical packages so the operations
+// surface documented in docs/OBSERVABILITY.md cannot silently rot.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <pkg-dir> [pkg-dir ...]   (dir/... walks a tree)")
+		os.Exit(2)
+	}
+	dirs, err := expandArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	var problems []string
+	for _, dir := range dirs {
+		ps, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, ps...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) lack doc comments\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// expandArgs resolves the argument list to a sorted set of package
+// directories, expanding trailing /... patterns into every directory
+// under the prefix that contains a non-test .go file.
+func expandArgs(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	for _, a := range args {
+		root, recurse := strings.CutSuffix(a, "/...")
+		root = filepath.Clean(root)
+		if !recurse {
+			seen[root] = true
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				seen[filepath.Dir(path)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// checkDir parses one package directory and returns a line per missing
+// doc comment, formatted file:line: message.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", dir, err)
+	}
+	var problems []string
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		if !hasPackageDoc(pkg) {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		names := sortedFileNames(pkg)
+		for _, fname := range names {
+			f := pkg.Files[fname]
+			for _, decl := range f.Decls {
+				problems = append(problems, checkDecl(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// hasPackageDoc reports whether any file of the package carries a
+// package comment.
+func hasPackageDoc(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && len(f.Doc.List) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedFileNames returns the package's file names in lexical order so
+// output is deterministic.
+func sortedFileNames(pkg *ast.Package) []string {
+	names := make([]string, 0, len(pkg.Files))
+	for n := range pkg.Files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// checkDecl returns a problem line for each exported identifier the
+// declaration introduces without a doc comment.
+func checkDecl(fset *token.FileSet, decl ast.Decl) []string {
+	var problems []string
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || hasDoc(d.Doc) {
+			return nil
+		}
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			recv := receiverName(d.Recv.List[0].Type)
+			if recv != "" && !ast.IsExported(recv) {
+				return nil // method on an unexported type: not part of the API surface
+			}
+			report(d.Pos(), "exported method %s.%s has no doc comment", recv, d.Name.Name)
+			return problems
+		}
+		report(d.Pos(), "exported function %s has no doc comment", d.Name.Name)
+	case *ast.GenDecl:
+		switch d.Tok {
+		case token.TYPE:
+			for _, spec := range d.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if ts.Name.IsExported() && !hasDoc(d.Doc) && !hasDoc(ts.Doc) {
+					report(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+				}
+			}
+		case token.CONST, token.VAR:
+			// A doc comment on the grouped decl documents the block; a
+			// per-spec comment documents that spec alone.
+			for _, spec := range d.Specs {
+				vs := spec.(*ast.ValueSpec)
+				if hasDoc(d.Doc) || hasDoc(vs.Doc) {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.IsExported() {
+						report(name.Pos(), "exported %s %s has no doc comment", d.Tok, name.Name)
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// hasDoc reports whether a comment group holds at least one comment.
+func hasDoc(g *ast.CommentGroup) bool { return g != nil && len(g.List) > 0 }
+
+// receiverName extracts the type name a method is declared on,
+// unwrapping pointers and generic instantiations.
+func receiverName(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr:
+			expr = t.X
+		case *ast.IndexListExpr:
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

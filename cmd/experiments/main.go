@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"albadross/internal/experiments"
+	"albadross/internal/obs"
 )
 
 // artifact couples an experiment id with its runner.
@@ -90,6 +91,7 @@ func main() {
 		splits    = flag.Int("splits", 0, "override the number of train/test splits")
 		workers   = flag.Int("workers", 0, "parallelism (0 = all cores)")
 		plot      = flag.Bool("plot", false, "render ASCII charts for curve artifacts")
+		metrics   = flag.Bool("metrics", false, "print the obs registry (Prometheus text) after the run: per-stage latencies and counters (see docs/OBSERVABILITY.md)")
 	)
 	flag.Parse()
 	if *runFlag == "" {
@@ -156,6 +158,14 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("   wrote %s\n\n", path)
+		}
+	}
+	if *metrics {
+		// The same snapshot the annotation server serves on /api/metrics
+		// and bench_test.go summarizes — stage-level profiles of this run.
+		fmt.Println("== metrics (obs registry, Prometheus text exposition) ==")
+		if err := obs.Default().WritePrometheus(os.Stdout); err != nil {
+			fatal(err)
 		}
 	}
 }

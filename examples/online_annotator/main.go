@@ -25,6 +25,7 @@ import (
 	"albadross/internal/features/mvts"
 	"albadross/internal/ml/forest"
 	"albadross/internal/ml/tree"
+	"albadross/internal/obs"
 	"albadross/internal/telemetry"
 )
 
@@ -143,4 +144,10 @@ func main() {
 		fmt.Printf("reloaded bundle from %s; sample 0 diagnosed as %s (%.2f)\n",
 			*modelDir, diag.Label, diag.Confidence)
 	}
+
+	// The run reported into the process-wide obs registry as it went (the
+	// same registry `albadross serve` exposes on /api/metrics); print its
+	// stage-level profile — fit/predict latency, query latency, labels spent.
+	fmt.Println("\nrun profile (obs registry snapshot):")
+	fmt.Print(obs.Default().Snapshot().Summary())
 }

@@ -18,6 +18,7 @@ import (
 	"albadross/internal/hpas"
 	"albadross/internal/ml/forest"
 	"albadross/internal/ml/tree"
+	"albadross/internal/obs"
 	"albadross/internal/telemetry"
 )
 
@@ -93,4 +94,10 @@ func main() {
 		fmt.Printf("  node %d: %-10s (confidence %.2f, truth %s)\n",
 			s.Meta.Node, diag.Label, diag.Confidence, s.Meta.Label())
 	}
+
+	// 5. Every stage above reported into the process-wide obs registry
+	//    (the same one `albadross serve` exposes on /api/metrics); print
+	//    the stage-level profile of this run.
+	fmt.Println("\nrun profile (obs registry snapshot):")
+	fmt.Print(obs.Default().Snapshot().Summary())
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"albadross/internal/dataset"
 	"albadross/internal/eval"
@@ -187,7 +188,9 @@ func (l *Loop) Run(d *dataset.Dataset, initial, pool []int, test *dataset.Datase
 				qctx.LabeledX[k] = d.X[i]
 			}
 		}
+		selectStart := time.Now()
 		pos := l.Strategy.Next(qctx)
+		ObserveQuery(l.Strategy.Name(), time.Since(selectStart))
 		if pos < 0 || pos >= len(poolIdx) {
 			return nil, fmt.Errorf("active: strategy %s returned pool position %d of %d", l.Strategy.Name(), pos, len(poolIdx))
 		}
@@ -195,6 +198,8 @@ func (l *Loop) Run(d *dataset.Dataset, initial, pool []int, test *dataset.Datase
 		poolIdx = append(poolIdx[:pos], poolIdx[pos+1:]...)
 		yOf[di] = l.Annotator.Label(di)
 		labeled = append(labeled, di)
+		CountLabelSpent()
+		SetPoolSize(len(poolIdx))
 
 		model, err = train()
 		if err != nil {

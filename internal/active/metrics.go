@@ -1,0 +1,41 @@
+package active
+
+import (
+	"time"
+
+	"albadross/internal/obs"
+)
+
+// Active-learning metrics, registered on the default obs registry at
+// import time and documented in docs/OBSERVABILITY.md. Loop.Run reports
+// into them directly; the annotation server reports through the exported
+// helpers below so its live session is accounted the same way.
+var (
+	queryLatency = obs.NewHistogramVec(obs.Opts{
+		Name: "active_query_seconds",
+		Help: "Wall time of one query-strategy selection (Strategy.Next call), by strategy.",
+		Unit: "seconds",
+	}, "strategy")
+	poolSize = obs.NewGauge(obs.Opts{
+		Name: "active_pool_size",
+		Help: "Unlabeled pool samples remaining after the most recent query.",
+		Unit: "samples",
+	})
+	labelsSpent = obs.NewCounter(obs.Opts{
+		Name: "active_labels_spent_total",
+		Help: "Annotations obtained (oracle or human), across loops and server sessions.",
+		Unit: "labels",
+	})
+)
+
+// ObserveQuery records one strategy selection's wall time; d covers the
+// Strategy.Next call only, not the batch inference feeding it.
+func ObserveQuery(strategy string, d time.Duration) {
+	queryLatency.With(strategy).Observe(d.Seconds())
+}
+
+// SetPoolSize publishes the current unlabeled-pool size.
+func SetPoolSize(n int) { poolSize.Set(float64(n)) }
+
+// CountLabelSpent accounts one obtained annotation.
+func CountLabelSpent() { labelsSpent.Inc() }

@@ -199,7 +199,10 @@ func RunChaosMatrix(cfg Config, opts ChaosOptions) (*ChaosResult, error) {
 	}
 
 	// The matrix: cells are independent, sweep them in parallel.
-	type cellJob struct{ kind chaos.Kind; intensity float64 }
+	type cellJob struct {
+		kind      chaos.Kind
+		intensity float64
+	}
 	var jobs []cellJob
 	for _, k := range opts.Kinds {
 		for _, p := range opts.Intensities {

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 
+	"albadross/internal/obs"
 	"albadross/internal/ts"
 )
 
@@ -57,12 +58,16 @@ func Sanitize(v []float64) int {
 			n++
 		}
 	}
+	if n > 0 {
+		sanitizedTotal.Add(uint64(n))
+	}
 	return n
 }
 
 // ExtractSample computes the feature vector of one multivariate sample by
 // concatenating per-metric features in metric order.
 func ExtractSample(e Extractor, m *ts.Multivariate) []float64 {
+	defer obs.StartSpan(extractLatency).End()
 	per := len(e.FeatureNames())
 	out := make([]float64, 0, per*len(m.Metrics))
 	for _, s := range m.Metrics {

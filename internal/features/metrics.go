@@ -1,0 +1,18 @@
+package features
+
+import "albadross/internal/obs"
+
+// Feature-extraction metrics, registered on the default obs registry at
+// import time and documented in docs/OBSERVABILITY.md.
+var (
+	extractLatency = obs.NewHistogram(obs.Opts{
+		Name: "features_extract_seconds",
+		Help: "Wall time to extract one sample's full feature vector (ExtractSample call).",
+		Unit: "seconds",
+	})
+	sanitizedTotal = obs.NewCounter(obs.Opts{
+		Name: "features_sanitized_nan_total",
+		Help: "NaN or infinite feature entries replaced with 0 by Sanitize.",
+		Unit: "entries",
+	})
+)

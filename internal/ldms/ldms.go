@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 
+	"albadross/internal/obs"
 	"albadross/internal/telemetry"
 	"albadross/internal/ts"
 )
@@ -147,7 +148,18 @@ func ReadCSV(r io.Reader, schema []telemetry.Metric) (*telemetry.NodeSample, []s
 // ReadCSVOpts parses one node sample under the given options and reports
 // what the parse tolerated. The report is non-nil whenever parsing got
 // far enough to account for anything, including alongside an error.
+// Every parse is accounted in the obs registry (ldms_parse_seconds,
+// ldms_rows_total, ...; see docs/OBSERVABILITY.md).
 func ReadCSVOpts(r io.Reader, schema []telemetry.Metric, opts Options) (*telemetry.NodeSample, []string, *ParseReport, error) {
+	span := obs.StartSpan(parseLatency)
+	s, cols, rep, err := readCSVOpts(r, schema, opts)
+	span.End()
+	observeParse(rep, err != nil)
+	return s, cols, rep, err
+}
+
+// readCSVOpts is ReadCSVOpts without the metrics accounting.
+func readCSVOpts(r io.Reader, schema []telemetry.Metric, opts Options) (*telemetry.NodeSample, []string, *ParseReport, error) {
 	if opts.MaxErrors <= 0 {
 		opts.MaxErrors = 20
 	}
@@ -163,10 +175,10 @@ func ReadCSVOpts(r io.Reader, schema []telemetry.Metric, opts Options) (*telemet
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var meta telemetry.RunMeta
-	var cols []string     // file column names
-	var colMap []int      // file column -> output metric index (-1 drops)
-	nOut := 0             // output metric count
-	var rows [][]float64  // rows in output metric indexing
+	var cols []string    // file column names
+	var colMap []int     // file column -> output metric index (-1 drops)
+	nOut := 0            // output metric count
+	var rows [][]float64 // rows in output metric indexing
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++

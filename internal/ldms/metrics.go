@@ -1,0 +1,61 @@
+package ldms
+
+import "albadross/internal/obs"
+
+// Parse-stage metrics, registered on the default obs registry at import
+// time and documented in docs/OBSERVABILITY.md. ReadCSVOpts drives all
+// of them, so both strict and lenient parses (and ReadRunDirOpts, which
+// delegates per file) are accounted.
+var (
+	parseLatency = obs.NewHistogram(obs.Opts{
+		Name: "ldms_parse_seconds",
+		Help: "Wall time of one LDMS CSV parse (ReadCSVOpts call).",
+		Unit: "seconds",
+	})
+	parseFiles = obs.NewCounterVec(obs.Opts{
+		Name: "ldms_parse_files_total",
+		Help: "LDMS CSV parses by outcome (ok or error).",
+		Unit: "files",
+	}, "status")
+	parseRows = obs.NewCounter(obs.Opts{
+		Name: "ldms_rows_total",
+		Help: "Data rows kept by the LDMS parser.",
+		Unit: "rows",
+	})
+	parseRowsSkipped = obs.NewCounter(obs.Opts{
+		Name: "ldms_rows_skipped_total",
+		Help: "Malformed data rows dropped by the lenient LDMS parser.",
+		Unit: "rows",
+	})
+	parseCellsMissing = obs.NewCounter(obs.Opts{
+		Name: "ldms_cells_missing_total",
+		Help: "Empty CSV cells stored as NaN (ordinary LDMS missing samples).",
+		Unit: "cells",
+	})
+	parseCellsBad = obs.NewCounter(obs.Opts{
+		Name: "ldms_cells_bad_total",
+		Help: "Non-empty unparseable CSV cells stored as NaN by the lenient parser.",
+		Unit: "cells",
+	})
+	parseErrors = obs.NewCounter(obs.Opts{
+		Name: "ldms_parse_errors_total",
+		Help: "Structured parse errors recorded in ParseReports (capped per file by Options.MaxErrors).",
+		Unit: "errors",
+	})
+)
+
+// observeParse folds one finished parse into the metrics; rep is the
+// report ReadCSVOpts accumulated (always non-nil there) and failed marks
+// a parse that returned an error.
+func observeParse(rep *ParseReport, failed bool) {
+	status := "ok"
+	if failed {
+		status = "error"
+	}
+	parseFiles.With(status).Inc()
+	parseRows.Add(uint64(rep.Rows))
+	parseRowsSkipped.Add(uint64(rep.RowsSkipped))
+	parseCellsMissing.Add(uint64(rep.CellsMissing))
+	parseCellsBad.Add(uint64(rep.CellsBad))
+	parseErrors.Add(uint64(len(rep.Errors)))
+}

@@ -9,10 +9,22 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"albadross/internal/ml"
 	"albadross/internal/ml/tree"
+	"albadross/internal/obs"
 )
+
+// workerUtilization is the fraction of the last Fit's worker-slot time
+// spent training trees (1.0 = every worker busy for the whole fit); see
+// docs/OBSERVABILITY.md.
+var workerUtilization = obs.NewGauge(obs.Opts{
+	Name: "ml_forest_worker_utilization",
+	Help: "Busy fraction of the forest's training workers during the last Fit.",
+	Unit: "ratio",
+})
 
 // Config are the forest hyperparameters from Table IV.
 type Config struct {
@@ -68,6 +80,7 @@ func (f *Forest) NumClasses() int { return f.NClasses }
 // parallel. Training is deterministic for a fixed seed regardless of the
 // worker count.
 func (f *Forest) Fit(x [][]float64, y []int, nClasses int) error {
+	start := time.Now()
 	if err := ml.ValidateTrainingInput(x, y, nClasses); err != nil {
 		return err
 	}
@@ -75,6 +88,7 @@ func (f *Forest) Fit(x [][]float64, y []int, nClasses int) error {
 	f.NClasses = nClasses
 	f.Trees = make([]*tree.Classifier, cfg.NEstimators)
 	errs := make([]error, cfg.NEstimators)
+	var busy atomic.Int64 // summed per-tree training nanoseconds
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Workers)
 	for t := 0; t < cfg.NEstimators; t++ {
@@ -83,6 +97,8 @@ func (f *Forest) Fit(x [][]float64, y []int, nClasses int) error {
 		go func(t int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			treeStart := time.Now()
+			defer func() { busy.Add(int64(time.Since(treeStart))) }()
 			seed := cfg.Seed*1_000_003 + int64(t)
 			rng := rand.New(rand.NewSource(seed))
 			w := bootstrapWeights(len(x), rng)
@@ -101,6 +117,11 @@ func (f *Forest) Fit(x [][]float64, y []int, nClasses int) error {
 		}(t)
 	}
 	wg.Wait()
+	wall := time.Since(start)
+	if slots := wall * time.Duration(cfg.Workers); slots > 0 {
+		workerUtilization.Set(float64(busy.Load()) / float64(slots))
+	}
+	ml.ObserveFit("forest", wall)
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -161,6 +182,8 @@ func (f *Forest) PredictProba(x []float64) []float64 {
 	if len(f.Trees) == 0 {
 		panic("forest: PredictProba before Fit")
 	}
+	start := time.Now()
+	defer func() { ml.ObservePredict("forest", time.Since(start)) }()
 	acc := make([]float64, f.NClasses)
 	for _, tr := range f.Trees {
 		p := tr.PredictProba(x)

@@ -8,6 +8,7 @@ package gbm
 import (
 	"math"
 	"math/rand"
+	"time"
 
 	"albadross/internal/ml"
 	"albadross/internal/ml/tree"
@@ -83,6 +84,8 @@ func (m *Model) NumClasses() int { return m.NClasses }
 
 // Fit boosts NEstimators rounds of K trees on the softmax objective.
 func (m *Model) Fit(x [][]float64, y []int, nClasses int) error {
+	start := time.Now()
+	defer func() { ml.ObserveFit("gbm", time.Since(start)) }()
 	if err := ml.ValidateTrainingInput(x, y, nClasses); err != nil {
 		return err
 	}
@@ -189,6 +192,8 @@ func (m *Model) PredictProba(x []float64) []float64 {
 	if len(m.Trees) == 0 && m.Prior == nil {
 		panic("gbm: PredictProba before Fit")
 	}
+	start := time.Now()
+	defer func() { ml.ObservePredict("gbm", time.Since(start)) }()
 	logits := append([]float64{}, m.Prior...)
 	buf := make([]float64, 0, 8)
 	for _, round := range m.Trees {

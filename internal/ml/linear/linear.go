@@ -7,6 +7,7 @@ package linear
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"albadross/internal/ml"
 )
@@ -92,6 +93,8 @@ func (m *Model) NumClasses() int { return m.NClasses }
 
 // Fit minimizes the softmax cross-entropy plus the configured penalty.
 func (m *Model) Fit(x [][]float64, y []int, nClasses int) error {
+	start := time.Now()
+	defer func() { ml.ObserveFit("linear", time.Since(start)) }()
 	if err := ml.ValidateTrainingInput(x, y, nClasses); err != nil {
 		return err
 	}
@@ -195,6 +198,8 @@ func (m *Model) PredictProba(x []float64) []float64 {
 	if m.W == nil {
 		panic("linear: PredictProba before Fit")
 	}
+	start := time.Now()
+	defer func() { ml.ObservePredict("linear", time.Since(start)) }()
 	logits := make([]float64, m.NClasses)
 	for c := 0; c < m.NClasses; c++ {
 		z := m.B[c]

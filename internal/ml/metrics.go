@@ -1,0 +1,35 @@
+package ml
+
+import (
+	"time"
+
+	"albadross/internal/obs"
+)
+
+// Model-stage metrics, registered on the default obs registry at import
+// time and documented in docs/OBSERVABILITY.md. The model zoo packages
+// (forest, gbm, linear, neural) report into these via ObserveFit /
+// ObservePredict with their model name as the label.
+var (
+	fitLatency = obs.NewHistogramVec(obs.Opts{
+		Name: "ml_fit_seconds",
+		Help: "Wall time of one model training (Fit call), by model.",
+		Unit: "seconds",
+	}, "model")
+	predictLatency = obs.NewHistogramVec(obs.Opts{
+		Name: "ml_predict_seconds",
+		Help: "Wall time of one single-sample inference (PredictProba call), by model.",
+		Unit: "seconds",
+	}, "model")
+)
+
+// ObserveFit records one Fit's wall time under the given model label.
+func ObserveFit(model string, d time.Duration) {
+	fitLatency.With(model).Observe(d.Seconds())
+}
+
+// ObservePredict records one PredictProba's wall time under the given
+// model label.
+func ObservePredict(model string, d time.Duration) {
+	predictLatency.With(model).Observe(d.Seconds())
+}

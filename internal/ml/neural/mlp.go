@@ -2,6 +2,7 @@ package neural
 
 import (
 	"math/rand"
+	"time"
 
 	"albadross/internal/ml"
 )
@@ -59,6 +60,8 @@ func (m *MLP) NumClasses() int { return m.NClasses }
 
 // Fit trains the network with minibatch backpropagation.
 func (m *MLP) Fit(x [][]float64, y []int, nClasses int) error {
+	start := time.Now()
+	defer func() { ml.ObserveFit("mlp", time.Since(start)) }()
 	if err := ml.ValidateTrainingInput(x, y, nClasses); err != nil {
 		return err
 	}
@@ -141,6 +144,8 @@ func (m *MLP) PredictProba(x []float64) []float64 {
 	if m.Net == nil {
 		panic("neural: PredictProba before Fit")
 	}
+	start := time.Now()
+	defer func() { ml.ObservePredict("mlp", time.Since(start)) }()
 	outs := m.Net.forward(x, nil)
 	return ml.Softmax(outs[len(outs)-1], nil)
 }

@@ -1,0 +1,36 @@
+package obs
+
+import "time"
+
+// Span times one pipeline stage into a histogram of seconds. Create with
+// StartSpan at the top of the stage and End it when the stage completes:
+//
+//	span := obs.StartSpan(parseLatency)
+//	defer span.End()
+//
+// Span is a value type — starting one allocates nothing.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan starts timing into h. A nil histogram yields a no-op span.
+func StartSpan(h *Histogram) Span {
+	return Span{h: h, start: time.Now()}
+}
+
+// End observes the elapsed time (in seconds) into the span's histogram
+// and returns the duration. Ending a span twice double-counts; don't.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.h != nil {
+		s.h.Observe(d.Seconds())
+	}
+	return d
+}
+
+// ObserveSince records the seconds elapsed since start into h — the
+// one-liner form for stages whose start time is already at hand.
+func ObserveSince(h *Histogram, start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}

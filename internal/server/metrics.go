@@ -1,0 +1,77 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"albadross/internal/obs"
+)
+
+// HTTP and retrain metrics, registered on the default obs registry at
+// import time and documented in docs/OBSERVABILITY.md. The endpoint
+// label is the mounted route pattern (never the raw URL path, so
+// cardinality stays bounded); code is the numeric HTTP status actually
+// written.
+var (
+	httpRequests = obs.NewCounterVec(obs.Opts{
+		Name: "http_requests_total",
+		Help: "Requests served, by endpoint and HTTP status code.",
+		Unit: "requests",
+	}, "endpoint", "code")
+	httpLatency = obs.NewHistogramVec(obs.Opts{
+		Name: "http_request_seconds",
+		Help: "Request wall time, by endpoint.",
+		Unit: "seconds",
+	}, "endpoint")
+	retrainAttempts = obs.NewCounter(obs.Opts{
+		Name: "retrain_attempts_total",
+		Help: "Model retraining attempts, including backoff retries.",
+		Unit: "attempts",
+	})
+	retrainFailures = obs.NewCounter(obs.Opts{
+		Name: "retrain_failures_total",
+		Help: "Model retraining attempts that returned an error.",
+		Unit: "attempts",
+	})
+	retrainBackoff = obs.NewGauge(obs.Opts{
+		Name: "retrain_backoff_seconds",
+		Help: "Backoff delay before the retry in progress; 0 when retraining is not backing off.",
+		Unit: "seconds",
+	})
+)
+
+// statusWriter captures the status code a handler writes.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the status before delegating.
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route with request counting and latency timing.
+// The latency series is resolved once per route; the status series is
+// resolved per request (a handful of codes per endpoint). A panicking
+// handler is recorded as a 500 and re-panicked for withRecovery to turn
+// into the logged 500 response.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	lat := httpLatency.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				httpRequests.With(endpoint, "500").Inc()
+				obs.ObserveSince(lat, start)
+				panic(rec)
+			}
+			httpRequests.With(endpoint, strconv.Itoa(sw.code)).Inc()
+			obs.ObserveSince(lat, start)
+		}()
+		h(sw, r)
+	}
+}

@@ -11,7 +11,14 @@
 //	                      annotation, retrains, and re-scores
 //	GET  /api/status   -> trajectory so far (F1/FAR/AMR per query)
 //	GET  /api/diagnose -> POST a feature vector, get a diagnosis
+//	GET  /api/health   -> liveness/readiness probe
+//	GET  /api/metrics  -> obs registry snapshot (JSON, or the Prometheus
+//	                      text exposition with ?format=prometheus)
 //	GET  /             -> a minimal built-in dashboard page
+//
+// With Config.EnablePprof the net/http/pprof profiling handlers are
+// additionally mounted under /debug/pprof/ (opt-in: profiles expose
+// internals, so production deployments enable them deliberately).
 //
 // The server owns the loop state; handlers serialize access through a
 // mutex, so one annotator session is consistent even with concurrent
@@ -25,6 +32,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -33,6 +41,7 @@ import (
 	"albadross/internal/eval"
 	"albadross/internal/explain"
 	"albadross/internal/ml"
+	"albadross/internal/obs"
 	"albadross/internal/telemetry"
 )
 
@@ -62,6 +71,9 @@ type Config struct {
 	// Log receives recovered panics and retry notices (default
 	// log.Default()).
 	Log *log.Logger
+	// EnablePprof mounts the net/http/pprof profiling handlers under
+	// /debug/pprof/ on the handler tree (off by default).
+	EnablePprof bool
 }
 
 // Server is the annotation service. Create with New, mount via Handler.
@@ -146,14 +158,18 @@ func (s *Server) snapshotTraining() ([][]float64, []int) {
 func (s *Server) trainCandidate(x [][]float64, y []int) (ml.Classifier, error) {
 	var err error
 	backoff := s.cfg.RetrainBackoff
+	defer retrainBackoff.Set(0)
 	for attempt := 0; attempt <= s.cfg.RetrainRetries; attempt++ {
 		if attempt > 0 {
 			s.cfg.Log.Printf("server: retraining attempt %d after error: %v", attempt+1, err)
+			retrainBackoff.Set(backoff.Seconds())
 			time.Sleep(backoff)
 			backoff *= 2
 		}
+		retrainAttempts.Inc()
 		m := s.cfg.Factory()
 		if ferr := m.Fit(x, y, len(s.cfg.Data.Classes)); ferr != nil {
+			retrainFailures.Inc()
 			err = fmt.Errorf("server: retraining: %w", ferr)
 			continue
 		}
@@ -225,16 +241,28 @@ type DiagnoseResponse struct {
 	Probs      []float64 `json:"probs"`
 }
 
-// Handler returns the HTTP handler tree, wrapped in panic recovery so a
-// bug in one request can never take the annotation session down.
+// Handler returns the HTTP handler tree: every route is instrumented
+// (http_requests_total, http_request_seconds) and the whole tree is
+// wrapped in panic recovery so a bug in one request can never take the
+// annotation session down. The obs registry itself is served on
+// /api/metrics; with Config.EnablePprof the pprof profilers are mounted
+// under /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/next", s.handleNext)
-	mux.HandleFunc("/api/label", s.handleLabel)
-	mux.HandleFunc("/api/status", s.handleStatus)
-	mux.HandleFunc("/api/diagnose", s.handleDiagnose)
-	mux.HandleFunc("/api/health", s.handleHealth)
-	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/api/next", s.instrument("/api/next", s.handleNext))
+	mux.HandleFunc("/api/label", s.instrument("/api/label", s.handleLabel))
+	mux.HandleFunc("/api/status", s.instrument("/api/status", s.handleStatus))
+	mux.HandleFunc("/api/diagnose", s.instrument("/api/diagnose", s.handleDiagnose))
+	mux.HandleFunc("/api/health", s.instrument("/api/health", s.handleHealth))
+	mux.HandleFunc("/api/metrics", s.instrument("/api/metrics", obs.Handler(obs.Default()).ServeHTTP))
+	mux.HandleFunc("/", s.instrument("/", s.handleIndex))
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s.withRecovery(mux)
 }
 
@@ -298,7 +326,9 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 				ctx.LabeledX[k] = s.cfg.Data.X[i]
 			}
 		}
+		selectStart := time.Now()
 		pos := s.cfg.Strategy.Next(ctx)
+		active.ObserveQuery(s.cfg.Strategy.Name(), time.Since(selectStart))
 		if pos < 0 || pos >= len(s.pool) {
 			writeErr(w, http.StatusInternalServerError, fmt.Errorf("strategy returned position %d", pos))
 			return
@@ -356,6 +386,8 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 	s.yOf[s.pending] = class
 	s.labeled = append(s.labeled, s.pending)
 	s.pending = -1
+	active.CountLabelSpent()
+	active.SetPoolSize(len(s.pool))
 	// Train outside the lock: retry backoff must not block the other
 	// endpoints (notably /api/health) behind mu. The previous model
 	// keeps serving until the candidate is swapped in.

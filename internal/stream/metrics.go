@@ -1,0 +1,56 @@
+package stream
+
+import "albadross/internal/obs"
+
+// Streaming-stage metrics, registered on the default obs registry at
+// import time and documented in docs/OBSERVABILITY.md. They mirror the
+// per-streamer Stats counters but aggregate across every Streamer in
+// the process (Stats stays the per-instance view and is reset by Reset;
+// the metrics are cumulative).
+var (
+	windowLatency = obs.NewHistogram(obs.Opts{
+		Name: "stream_window_seconds",
+		Help: "Wall time to repair, extract and diagnose one completed window.",
+		Unit: "seconds",
+	})
+	reorderDepth = obs.NewGauge(obs.Opts{
+		Name: "stream_reorder_depth",
+		Help: "Readings currently held in the reordering buffer (last PushAt).",
+		Unit: "readings",
+	})
+	pushedTotal = obs.NewCounter(obs.Opts{
+		Name: "stream_pushed_total",
+		Help: "Readings accepted into the window sequence (gap fills excluded).",
+		Unit: "readings",
+	})
+	duplicatesTotal = obs.NewCounter(obs.Opts{
+		Name: "stream_duplicates_total",
+		Help: "Readings dropped because their timestamp was already delivered.",
+		Unit: "readings",
+	})
+	lateTotal = obs.NewCounter(obs.Opts{
+		Name: "stream_late_total",
+		Help: "Readings dropped because they arrived after their slot was committed.",
+		Unit: "readings",
+	})
+	implausibleTotal = obs.NewCounter(obs.Opts{
+		Name: "stream_implausible_total",
+		Help: "Readings dropped for jumping more than MaxJump past the commit frontier.",
+		Unit: "readings",
+	})
+	gapsFilledTotal = obs.NewCounter(obs.Opts{
+		Name: "stream_gaps_filled_total",
+		Help: "All-NaN rows synthesized for timestamps that never arrived.",
+		Unit: "rows",
+	})
+	windowsTotal = obs.NewCounter(obs.Opts{
+		Name: "stream_windows_total",
+		Help: "Completed windows (diagnosed plus abstained).",
+		Unit: "windows",
+	})
+	abstainedTotal = obs.NewCounter(obs.Opts{
+		Name: "stream_abstained_total",
+		Help: "Windows refused under GapAbstain or on a non-finite classifier confidence.",
+		Unit: "windows",
+	})
+)

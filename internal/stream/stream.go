@@ -29,6 +29,7 @@ import (
 	"math"
 
 	"albadross/internal/features"
+	"albadross/internal/obs"
 	"albadross/internal/telemetry"
 	"albadross/internal/ts"
 )
@@ -212,6 +213,7 @@ func (s *Streamer) Push(values []float64) (*Diagnosis, error) {
 		return nil, fmt.Errorf("stream: reading has %d metrics, schema %d", len(values), len(s.cfg.Schema))
 	}
 	s.stats.Pushed++
+	pushedTotal.Inc()
 	return s.commit(append([]float64{}, values...))
 }
 
@@ -234,14 +236,17 @@ func (s *Streamer) PushAt(t int, values []float64) ([]*Diagnosis, error) {
 	}
 	if t < s.nextT {
 		s.stats.Late++
+		lateTotal.Inc()
 		return nil, nil
 	}
 	if t > s.nextT+s.cfg.MaxJump {
 		s.stats.Implausible++
+		implausibleTotal.Inc()
 		return nil, nil
 	}
 	if _, dup := s.pending[t]; dup {
 		s.stats.Duplicates++
+		duplicatesTotal.Inc()
 		return nil, nil
 	}
 	s.pending[t] = append([]float64{}, values...)
@@ -249,7 +254,10 @@ func (s *Streamer) PushAt(t int, values []float64) ([]*Diagnosis, error) {
 		s.maxT = t
 	}
 	s.stats.Pushed++
-	return s.drain(false)
+	pushedTotal.Inc()
+	out, err := s.drain(false)
+	reorderDepth.Set(float64(len(s.pending)))
+	return out, err
 }
 
 // drain commits every pending reading that is either next in sequence
@@ -270,6 +278,7 @@ func (s *Streamer) drain(final bool) ([]*Diagnosis, error) {
 				row[i] = math.NaN()
 			}
 			s.stats.GapsFilled++
+			gapsFilledTotal.Inc()
 		} else {
 			delete(s.pending, s.nextT)
 		}
@@ -312,7 +321,9 @@ func (s *Streamer) commit(row []float64) (*Diagnosis, error) {
 // feature vectors are sanitized so degraded windows (all-NaN or constant
 // series) stay finite.
 func (s *Streamer) diagnoseWindow() (*Diagnosis, error) {
+	defer obs.StartSpan(windowLatency).End()
 	s.stats.Windows++
+	windowsTotal.Inc()
 	nM := len(s.cfg.Schema)
 	block := ts.NewMultivariate(nM, len(s.buf))
 	for t, row := range s.buf {
@@ -323,6 +334,7 @@ func (s *Streamer) diagnoseWindow() (*Diagnosis, error) {
 	missing := float64(ts.CountNaN(block)) / float64(nM*len(s.buf))
 	if s.cfg.Gap == GapAbstain && missing > s.cfg.MaxMissing {
 		s.stats.Abstained++
+		abstainedTotal.Inc()
 		return &Diagnosis{
 			Label: AbstainLabel, Abstained: true,
 			MissingFrac: missing, WindowEnd: s.count - 1,
@@ -344,6 +356,7 @@ func (s *Streamer) diagnoseWindow() (*Diagnosis, error) {
 	}
 	if math.IsNaN(conf) || math.IsInf(conf, 0) {
 		s.stats.Abstained++
+		abstainedTotal.Inc()
 		return &Diagnosis{
 			Label: AbstainLabel, Abstained: true,
 			MissingFrac: missing, WindowEnd: s.count - 1,

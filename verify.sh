@@ -9,6 +9,9 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
+echo "== doccheck (godoc coverage: obs, stream, server)"
+go run ./cmd/doccheck internal/obs internal/stream internal/server
+
 echo "== go test -race ./..."
 go test -race ./...
 
