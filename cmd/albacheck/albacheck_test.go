@@ -1,0 +1,241 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureFset and fixtureImporter are shared across every fixture test
+// so the (expensive) from-source type-checking of stdlib dependencies
+// happens once per test binary.
+var (
+	fixtureFset     = token.NewFileSet()
+	fixtureImporter = importer.ForCompiler(fixtureFset, "source", nil)
+)
+
+// loadFixture parses and type-checks one testdata package. Type errors
+// fail the test: a fixture that does not compile exercises nothing.
+func loadFixture(t *testing.T, dir string) ([]*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read %s: %v", dir, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fixtureFset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: fixtureImporter,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check("fixture", fixtureFset, files, info)
+	for _, err := range typeErrs {
+		t.Errorf("fixture type error: %v", err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	return files, pkg, info
+}
+
+// runOnFixture executes one analyzer over a fixture package, bypassing
+// its Applies filter (fixtures live under testdata, not the analyzer's
+// target import paths).
+func runOnFixture(a *Analyzer, files []*ast.File, pkg *types.Package, info *types.Info, root string) []Diagnostic {
+	var diags []Diagnostic
+	p := &Pass{
+		Fset: fixtureFset, Files: files, Pkg: pkg, Info: info,
+		PkgPath: "fixture", RootDir: root,
+		analyzer: a, diags: &diags,
+	}
+	a.Run(p)
+	return diags
+}
+
+// wantRx extracts the quoted expectations from a // want comment.
+var wantRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one // want "rx" comment, keyed by file:line.
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+	loc     string
+}
+
+// collectWants gathers the // want expectations of a fixture package.
+func collectWants(t *testing.T, files []*ast.File) map[string][]*expectation {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fixtureFset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRx.FindAllStringSubmatch(c.Text[idx:], -1) {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx, loc: key})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkAgainstWants verifies that every diagnostic matches a want on
+// its line and every want is satisfied.
+func checkAgainstWants(t *testing.T, diags []Diagnostic, wants map[string][]*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.File, d.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", w.loc, w.rx)
+			}
+		}
+	}
+}
+
+// TestAnalyzerFixtures runs every analyzer over its fixture package and
+// compares the diagnostics against the // want comments.
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		root     string // RootDir override for catalog-reading analyzers
+	}{
+		{locksafeAnalyzer, "."},
+		{seedrandAnalyzer, "."},
+		{floatsafeAnalyzer, "."},
+		{errsilentAnalyzer, "."},
+		{metricnamesAnalyzer, filepath.Join("testdata", "metricnames")},
+		{godocAnalyzer, "."},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", tc.analyzer.Name)
+			files, pkg, info := loadFixture(t, dir)
+			diags := runOnFixture(tc.analyzer, files, pkg, info, tc.root)
+			checkAgainstWants(t, diags, collectWants(t, files))
+		})
+	}
+}
+
+// TestSuppression proves the ignore syntax end to end: a reasoned
+// suppression silences its diagnostic (and is reported with the
+// reason), a reasonless or unknown-analyzer ignore is itself a
+// diagnostic, and the uncovered finding survives.
+func TestSuppression(t *testing.T) {
+	dir := filepath.Join("testdata", "suppress")
+	files, pkg, info := loadFixture(t, dir)
+	diags := runOnFixture(locksafeAnalyzer, files, pkg, info, ".")
+	if len(diags) != 3 {
+		t.Fatalf("locksafe found %d diagnostics in the suppress fixture, want 3 (one per ReadFile-under-lock)", len(diags))
+	}
+	kept, suppressed := applySuppressions(fixtureFset, files, diags)
+
+	if len(suppressed) != 2 {
+		t.Fatalf("suppressed = %d, want 2; got %+v", len(suppressed), suppressed)
+	}
+	for _, s := range suppressed {
+		if s.Reason == "" {
+			t.Errorf("suppressed diagnostic lost its reason: %+v", s)
+		}
+		if s.Analyzer != "locksafe" {
+			t.Errorf("suppressed diagnostic has analyzer %q, want locksafe", s.Analyzer)
+		}
+	}
+
+	var reasonless, unknown, survived int
+	for _, d := range kept {
+		switch {
+		case d.Analyzer == "ignore" && strings.Contains(d.Message, "needs a written reason"):
+			reasonless++
+		case d.Analyzer == "ignore" && strings.Contains(d.Message, "unknown analyzer"):
+			unknown++
+		case d.Analyzer == "locksafe":
+			survived++
+		default:
+			t.Errorf("unexpected kept diagnostic: %+v", d)
+		}
+	}
+	if reasonless != 1 || unknown != 1 || survived != 1 {
+		t.Errorf("kept = reasonless %d, unknown %d, survived %d; want 1 each (%+v)", reasonless, unknown, survived, kept)
+	}
+}
+
+// TestCheckSummaryCountsSuppressions runs the full driver pipeline over
+// the suppress fixture and asserts the -json summary accounts for the
+// suppressions.
+func TestCheckSummaryCountsSuppressions(t *testing.T) {
+	res, err := Check([]string{filepath.Join("testdata", "suppress")}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.SuppressedTotal != 2 {
+		t.Errorf("Summary.SuppressedTotal = %d, want 2", res.Summary.SuppressedTotal)
+	}
+	if got := res.Summary.SuppressedByAnalyzer["locksafe"]; got != 2 {
+		t.Errorf("SuppressedByAnalyzer[locksafe] = %d, want 2", got)
+	}
+	if got := res.Summary.ByAnalyzer["ignore"]; got != 2 {
+		t.Errorf("ByAnalyzer[ignore] = %d, want 2 (reasonless + unknown-analyzer)", got)
+	}
+	if got := res.Summary.ByAnalyzer["locksafe"]; got != 1 {
+		t.Errorf("ByAnalyzer[locksafe] = %d, want 1 (the uncovered finding)", got)
+	}
+	if res.Summary.Total != len(res.Diagnostics) {
+		t.Errorf("Summary.Total = %d, want len(Diagnostics) = %d", res.Summary.Total, len(res.Diagnostics))
+	}
+	for _, s := range res.Suppressed {
+		if s.Reason == "" {
+			t.Errorf("suppressed diagnostic without reason in JSON result: %+v", s)
+		}
+	}
+}

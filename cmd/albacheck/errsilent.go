@@ -1,0 +1,178 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errsilentAnalyzer flags errors that vanish in internal/ production
+// code: expression statements (including go/defer) whose callee returns
+// an error nobody reads, and assignments that discard an error into the
+// blank identifier. The ingest path's history shows why — a swallowed
+// parse error is indistinguishable from clean data until the panic
+// three stages later.
+//
+// A small built-in allowlist covers the documented best-effort paths
+// where the error is unactionable by construction: fmt printing (the
+// process's own stdout/stderr), and writers that cannot fail
+// (strings.Builder, bytes.Buffer). Everything else needs either
+// handling or an //albacheck:ignore with a written reason.
+var errsilentAnalyzer = &Analyzer{
+	Name:    "errsilent",
+	Doc:     "unchecked error returns and _ = err discards in internal/ code",
+	Applies: appliesTo("albadross/internal"),
+	Run:     runErrsilent,
+}
+
+// errAllowlist names callees whose returned error is best-effort by
+// design. Keys are "pkgpath.Func" for functions and "Type.Method" for
+// methods (receiver type without package or pointer).
+var errAllowlist = map[string]string{
+	// The process's own stdout/stderr: a failed diagnostic print has no
+	// recovery path and must not mask the condition being printed.
+	"fmt.Print":    "stdout best-effort",
+	"fmt.Printf":   "stdout best-effort",
+	"fmt.Println":  "stdout best-effort",
+	"fmt.Fprint":   "writer best-effort (stdout/stderr/builder call sites)",
+	"fmt.Fprintf":  "writer best-effort (stdout/stderr/builder call sites)",
+	"fmt.Fprintln": "writer best-effort (stdout/stderr/builder call sites)",
+	// Writers documented to never return a non-nil error.
+	"strings.Builder.WriteString": "strings.Builder cannot fail",
+	"strings.Builder.WriteByte":   "strings.Builder cannot fail",
+	"strings.Builder.WriteRune":   "strings.Builder cannot fail",
+	"strings.Builder.Write":       "strings.Builder cannot fail",
+	"bytes.Buffer.WriteString":    "bytes.Buffer cannot fail",
+	"bytes.Buffer.WriteByte":      "bytes.Buffer cannot fail",
+	"bytes.Buffer.WriteRune":      "bytes.Buffer cannot fail",
+	"bytes.Buffer.Write":          "bytes.Buffer cannot fail",
+	// bufio.Writer errors are sticky: every write after a failure
+	// returns the same error, which the mandatory Flush check surfaces.
+	"bufio.Writer.WriteString": "sticky error, surfaced by the checked Flush",
+	"bufio.Writer.WriteByte":   "sticky error, surfaced by the checked Flush",
+	"bufio.Writer.WriteRune":   "sticky error, surfaced by the checked Flush",
+	"bufio.Writer.Write":       "sticky error, surfaced by the checked Flush",
+}
+
+func runErrsilent(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				if c, ok := x.X.(*ast.CallExpr); ok {
+					checkDroppedCall(p, c)
+				}
+			case *ast.DeferStmt:
+				checkDroppedCall(p, x.Call)
+			case *ast.GoStmt:
+				checkDroppedCall(p, x.Call)
+			case *ast.AssignStmt:
+				checkBlankErr(p, x)
+			}
+			return true
+		})
+	}
+}
+
+// checkDroppedCall reports a call statement that returns an error no
+// one reads.
+func checkDroppedCall(p *Pass, c *ast.CallExpr) {
+	if !returnsError(p.Info, c) {
+		return
+	}
+	if name, ok := calleeKey(p.Info, c); ok {
+		if _, allowed := errAllowlist[name]; allowed {
+			return
+		}
+		p.Reportf(c.Pos(), "error returned by %s is not checked", name)
+		return
+	}
+	p.Reportf(c.Pos(), "error returned by %s is not checked", exprString(c.Fun))
+}
+
+// checkBlankErr reports error values assigned to the blank identifier.
+func checkBlankErr(p *Pass, a *ast.AssignStmt) {
+	// v1, _ := f() — map RHS result types onto LHS positions.
+	resultType := func(i int) types.Type {
+		if len(a.Rhs) == len(a.Lhs) {
+			return p.Info.TypeOf(a.Rhs[i])
+		}
+		if len(a.Rhs) == 1 {
+			if tuple, ok := p.Info.TypeOf(a.Rhs[0]).(*types.Tuple); ok && i < tuple.Len() {
+				return tuple.At(i).Type()
+			}
+		}
+		return nil
+	}
+	for i, lhs := range a.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		t := resultType(i)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		if len(a.Rhs) >= 1 {
+			if c, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr); ok {
+				if name, ok := calleeKey(p.Info, c); ok {
+					if _, allowed := errAllowlist[name]; allowed {
+						return
+					}
+					p.Reportf(id.Pos(), "error from %s discarded into _; handle it or add //albacheck:ignore errsilent <reason>", name)
+					return
+				}
+			}
+		}
+		p.Reportf(id.Pos(), "error value discarded into _; handle it or add //albacheck:ignore errsilent <reason>")
+	}
+}
+
+// returnsError reports whether the call yields at least one error-typed
+// result.
+func returnsError(info *types.Info, c *ast.CallExpr) bool {
+	t := info.TypeOf(c)
+	switch rt := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(rt)
+	}
+}
+
+// errorType is the universe's error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the error interface.
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+// calleeKey renders the called function as an allowlist key:
+// "pkgpath.Func" for package functions, "Recv.Method" for methods.
+func calleeKey(info *types.Info, c *ast.CallExpr) (string, bool) {
+	f := funcFor(info, c)
+	if f == nil {
+		return "", false
+	}
+	if !isMethod(f) {
+		if p := funcPkgPath(f); p != "" {
+			return p + "." + f.Name(), true
+		}
+		return f.Name(), true
+	}
+	sig := f.Type().(*types.Signature)
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	// recv.String() is package-path qualified ("bufio.Writer",
+	// "albadross/internal/obs.Registry"); interface-typed receivers
+	// (error, io.Writer) come through the same way.
+	return strings.TrimPrefix(recv.String(), "command-line-arguments.") + "." + f.Name(), true
+}

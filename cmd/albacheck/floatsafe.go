@@ -1,0 +1,326 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// floatsafeAnalyzer guards the numeric packages against the three NaN /
+// Inf factories that features.Sanitize exists to mop up after:
+//
+//   - == / != between float operands (exact equality is almost never
+//     the intended predicate; comparisons against literal zero and the
+//     x != x NaN idiom are exempt),
+//   - division whose denominator is neither provably nonzero nor
+//     mentioned in any comparison in the same function (a zero guard),
+//   - math.Log / math.Log2 / math.Log10 / math.Sqrt on arguments that
+//     are neither provably in-domain nor guarded.
+//
+// The guard check is deliberately generous: any comparison in the
+// function that mentions the denominator (or the conversion operand
+// inside it) counts, so the usual "if n == 0 { return }" prologue
+// satisfies it without data-flow analysis.
+var floatsafeAnalyzer = &Analyzer{
+	Name: "floatsafe",
+	Doc:  "float equality, unguarded division, unguarded math.Log/Sqrt in numeric packages",
+	Applies: appliesTo(
+		"albadross/internal/features",
+		"albadross/internal/ml",
+		"albadross/internal/stats",
+		"albadross/internal/eval",
+	),
+	Run: runFloatsafe,
+}
+
+func runFloatsafe(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			floatsafeFunc(p, fd.Body)
+		}
+	}
+}
+
+// floatsafeFunc checks one function body.
+func floatsafeFunc(p *Pass, body *ast.BlockStmt) {
+	guards := collectGuards(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.EQL, token.NEQ:
+				checkFloatEq(p, x)
+			case token.QUO:
+				checkDivision(p, x, guards)
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.QUO_ASSIGN && len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+				checkCompoundDivision(p, x, guards)
+			}
+		case *ast.CallExpr:
+			checkMathDomain(p, x, guards)
+		}
+		return true
+	})
+}
+
+// collectGuards returns the printed form of every operand of every
+// comparison in the body, unwrapping single-argument conversions so a
+// check on len(xs) guards float64(len(xs)).
+func collectGuards(body *ast.BlockStmt) map[string]bool {
+	guards := map[string]bool{}
+	add := func(e ast.Expr) {
+		guards[exprString(e)] = true
+		if inner := conversionOperand(e); inner != nil {
+			guards[exprString(inner)] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch b.Op {
+		case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+			add(ast.Unparen(b.X))
+			add(ast.Unparen(b.Y))
+		}
+		return true
+	})
+	return guards
+}
+
+// conversionOperand unwraps a single-argument call like float64(E) or
+// len(E), returning E; nil when e is not that shape.
+func conversionOperand(e ast.Expr) ast.Expr {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	return ast.Unparen(call.Args[0])
+}
+
+// isFloat reports whether the expression's type is a floating-point
+// basic type.
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// constVal returns the expression's constant value, or nil.
+func constVal(info *types.Info, e ast.Expr) constant.Value {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+// checkFloatEq flags ==/!= between floats, exempting comparisons
+// against literal zero (an exact sentinel test) and x != x (the NaN
+// idiom).
+func checkFloatEq(p *Pass, b *ast.BinaryExpr) {
+	if !isFloat(p.Info, b.X) && !isFloat(p.Info, b.Y) {
+		return
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		if v := constVal(p.Info, side); v != nil && constant.Sign(v) == 0 {
+			return // exact-zero sentinel check is deliberate
+		}
+	}
+	if exprString(b.X) == exprString(b.Y) {
+		return // x != x is the portable NaN test
+	}
+	p.Reportf(b.OpPos, "float %s comparison is exact; compare against a tolerance or use math.Abs(a-b) < eps", b.Op)
+}
+
+// checkDivision flags float divisions whose denominator is neither
+// provably nonzero nor guarded by a comparison in the same function.
+func checkDivision(p *Pass, b *ast.BinaryExpr, guards map[string]bool) {
+	if !isFloat(p.Info, b.X) && !isFloat(p.Info, b.Y) {
+		return
+	}
+	den := ast.Unparen(b.Y)
+	if v := constVal(p.Info, den); v != nil {
+		if constant.Sign(v) != 0 {
+			return
+		}
+		p.Reportf(b.OpPos, "division by constant zero")
+		return
+	}
+	if provablyNonzero(p.Info, den) || guarded(den, guards) {
+		return
+	}
+	p.Reportf(b.OpPos, "float division by %s has no zero guard in this function; guard it or make it provably nonzero", exprString(den))
+}
+
+// checkCompoundDivision applies the division check to x /= d.
+func checkCompoundDivision(p *Pass, a *ast.AssignStmt, guards map[string]bool) {
+	if !isFloat(p.Info, a.Lhs[0]) {
+		return
+	}
+	den := ast.Unparen(a.Rhs[0])
+	if v := constVal(p.Info, den); v != nil {
+		if constant.Sign(v) != 0 {
+			return
+		}
+		p.Reportf(a.TokPos, "division by constant zero")
+		return
+	}
+	if provablyNonzero(p.Info, den) || guarded(den, guards) {
+		return
+	}
+	p.Reportf(a.TokPos, "float division by %s has no zero guard in this function; guard it or make it provably nonzero", exprString(den))
+}
+
+// mathDomainFuncs maps guarded math functions to whether zero is a
+// legal argument (Sqrt: yes, the logs: no).
+var mathDomainFuncs = map[string]bool{
+	"Log": false, "Log2": false, "Log10": false, "Sqrt": true,
+}
+
+// checkMathDomain flags math.Log*/math.Sqrt calls with arguments that
+// are neither provably in-domain nor guarded.
+func checkMathDomain(p *Pass, call *ast.CallExpr, guards map[string]bool) {
+	fn := funcFor(p.Info, call)
+	if fn == nil || funcPkgPath(fn) != "math" {
+		return
+	}
+	zeroOK, tracked := mathDomainFuncs[fn.Name()]
+	if !tracked || len(call.Args) != 1 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	if zeroOK {
+		if provablyNonneg(p.Info, arg) || guarded(arg, guards) {
+			return
+		}
+	} else {
+		if provablyPositive(p.Info, arg) || guarded(arg, guards) {
+			return
+		}
+	}
+	p.Reportf(call.Pos(), "math.%s(%s) has no domain guard in this function; a negative%s argument yields NaN/-Inf",
+		fn.Name(), exprString(arg), map[bool]string{true: "", false: " or zero"}[zeroOK])
+}
+
+// provablyNonzero reports whether e is structurally guaranteed != 0:
+// strictly positive, or a negated provably-positive expression.
+func provablyNonzero(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.SUB {
+		return provablyPositive(info, u.X)
+	}
+	return provablyPositive(info, e)
+}
+
+// guarded reports whether the expression, or any non-constant
+// subexpression of it, appears in some comparison in the function.
+// Matching subexpressions keeps "if len(xs) < 2 { return }" a valid
+// guard for a later division by float64(len(xs)-1): the analyzer's job
+// is to catch completely unguarded paths, so anything with a related
+// comparison gets the benefit of the doubt.
+func guarded(e ast.Expr, guards map[string]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sub, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if _, isLit := sub.(*ast.BasicLit); isLit {
+			return true
+		}
+		if guards[exprString(ast.Unparen(sub))] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// provablyNonneg reports whether e is structurally guaranteed >= 0 (or
+// NaN, which the callers' downstream sanitizers absorb explicitly).
+func provablyNonneg(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if v := constVal(info, e); v != nil {
+		return constant.Sign(v) >= 0
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.MUL:
+			if exprString(x.X) == exprString(x.Y) {
+				return true // x*x
+			}
+			return provablyNonneg(info, x.X) && provablyNonneg(info, x.Y)
+		case token.ADD:
+			return provablyNonneg(info, x.X) && provablyNonneg(info, x.Y)
+		case token.QUO:
+			return provablyNonneg(info, x.X) && provablyNonneg(info, x.Y)
+		}
+	case *ast.CallExpr:
+		if fn := funcFor(info, x); fn != nil && funcPkgPath(fn) == "math" {
+			switch fn.Name() {
+			case "Abs", "Exp", "Exp2", "Sqrt", "Hypot":
+				return true
+			case "Max":
+				return len(x.Args) == 2 &&
+					(provablyNonneg(info, x.Args[0]) || provablyNonneg(info, x.Args[1]))
+			}
+		}
+		// float64(E): nonneg iff E is.
+		if inner := conversionOperand(x); inner != nil {
+			if lenCall, ok := inner.(*ast.CallExpr); ok {
+				if id, ok := lenCall.Fun.(*ast.Ident); ok && id.Name == "len" {
+					return true // float64(len(xs))
+				}
+			}
+			return provablyNonneg(info, inner)
+		}
+	}
+	return false
+}
+
+// provablyPositive reports whether e is structurally guaranteed > 0.
+func provablyPositive(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if v := constVal(info, e); v != nil {
+		return constant.Sign(v) > 0
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.ADD:
+			return (provablyPositive(info, x.X) && provablyNonneg(info, x.Y)) ||
+				(provablyNonneg(info, x.X) && provablyPositive(info, x.Y))
+		case token.MUL, token.QUO:
+			return provablyPositive(info, x.X) && provablyPositive(info, x.Y)
+		}
+	case *ast.CallExpr:
+		if fn := funcFor(info, x); fn != nil && funcPkgPath(fn) == "math" {
+			switch fn.Name() {
+			case "Exp", "Exp2":
+				return true
+			case "Max":
+				return len(x.Args) == 2 &&
+					(provablyPositive(info, x.Args[0]) || provablyPositive(info, x.Args[1]))
+			}
+		}
+		if inner := conversionOperand(x); inner != nil {
+			return provablyPositive(info, inner)
+		}
+	}
+	return false
+}

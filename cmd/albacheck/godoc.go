@@ -1,0 +1,104 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// godocAnalyzer is the former cmd/doccheck folded into the suite: it
+// fails when a package's document surface is incomplete. Every package
+// under internal/ (doccheck covered only obs, stream and server) must
+// carry a package comment, and every exported top-level declaration —
+// types, funcs, methods on exported receivers, and each exported
+// const/var (a documented group covers its members) — needs a doc
+// comment. Test files are already excluded from the pass.
+var godocAnalyzer = &Analyzer{
+	Name:    "godoc",
+	Doc:     "exported identifiers and packages without doc comments in internal/",
+	Applies: appliesTo("albadross/internal"),
+	Run:     runGodoc,
+}
+
+func runGodoc(p *Pass) {
+	hasPkgDoc := false
+	for _, f := range p.Files {
+		if f.Doc != nil && len(f.Doc.List) > 0 {
+			hasPkgDoc = true
+			break
+		}
+	}
+	if !hasPkgDoc && len(p.Files) > 0 {
+		p.Reportf(p.Files[0].Package, "package %s has no package comment", p.Files[0].Name.Name)
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			godocDecl(p, decl)
+		}
+	}
+}
+
+// godocDecl reports each exported identifier the declaration introduces
+// without a doc comment.
+func godocDecl(p *Pass, decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || hasDoc(d.Doc) {
+			return
+		}
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			recv := receiverName(d.Recv.List[0].Type)
+			if recv != "" && !ast.IsExported(recv) {
+				return // method on an unexported type: not part of the API surface
+			}
+			p.Reportf(d.Pos(), "exported method %s.%s has no doc comment", recv, d.Name.Name)
+			return
+		}
+		p.Reportf(d.Pos(), "exported function %s has no doc comment", d.Name.Name)
+	case *ast.GenDecl:
+		switch d.Tok {
+		case token.TYPE:
+			for _, spec := range d.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if ts.Name.IsExported() && !hasDoc(d.Doc) && !hasDoc(ts.Doc) {
+					p.Reportf(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+				}
+			}
+		case token.CONST, token.VAR:
+			// A doc comment on the grouped decl documents the block; a
+			// per-spec comment documents that spec alone.
+			for _, spec := range d.Specs {
+				vs := spec.(*ast.ValueSpec)
+				if hasDoc(d.Doc) || hasDoc(vs.Doc) {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.IsExported() {
+						p.Reportf(name.Pos(), "exported %s %s has no doc comment", d.Tok, name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// hasDoc reports whether a comment group holds at least one comment.
+func hasDoc(g *ast.CommentGroup) bool { return g != nil && len(g.List) > 0 }
+
+// receiverName extracts the type name a method is declared on,
+// unwrapping pointers and generic instantiations.
+func receiverName(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr:
+			expr = t.X
+		case *ast.IndexListExpr:
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,514 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a type-checked package via
+// the Pass and reports findings with Pass.Reportf; Applies (nil = run
+// everywhere) restricts the analyzer to the import paths whose
+// invariants it encodes.
+type Analyzer struct {
+	// Name is the flag, suppression and report identifier.
+	Name string
+	// Doc is a one-line description shown in -help.
+	Doc string
+	// Applies filters by package import path; nil runs on every package.
+	Applies func(pkgPath string) bool
+	// Run performs the check on one package.
+	Run func(p *Pass)
+}
+
+// analyzers is the registered suite, in report order.
+var analyzers = []*Analyzer{
+	locksafeAnalyzer,
+	seedrandAnalyzer,
+	floatsafeAnalyzer,
+	errsilentAnalyzer,
+	metricnamesAnalyzer,
+	godocAnalyzer,
+}
+
+// analyzerNames reports whether name identifies a registered analyzer.
+func analyzerNames() map[string]bool {
+	m := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	// Fset positions every file of the run.
+	Fset *token.FileSet
+	// Files are the package's non-test files, sorted by file name.
+	Files []*ast.File
+	// Pkg is the type-checked package (possibly partial on type errors).
+	Pkg *types.Package
+	// Info holds the type-checker's fact tables for Files.
+	Info *types.Info
+	// PkgPath is the package import path (module-qualified).
+	PkgPath string
+	// RootDir is the module root; metricnames resolves the catalog
+	// (docs/OBSERVABILITY.md) relative to it.
+	RootDir string
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	pp := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		File:     pp.Filename,
+		Line:     pp.Line,
+		Col:      pp.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, suppressed or not.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name ("ignore" for defects
+	// in suppression comments themselves).
+	Analyzer string `json:"analyzer"`
+	// File, Line, Col locate the finding.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message describes the finding.
+	Message string `json:"message"`
+	// Reason carries the suppression reason when the diagnostic was
+	// silenced by an //albacheck:ignore comment.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Result is a full albacheck run: surviving diagnostics, applied
+// suppressions, and per-analyzer counts.
+type Result struct {
+	// Diagnostics are the unsuppressed findings, sorted by position.
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Suppressed are findings silenced by //albacheck:ignore comments,
+	// each carrying its written reason.
+	Suppressed []Diagnostic `json:"suppressed"`
+	// Summary counts findings per analyzer.
+	Summary Summary `json:"summary"`
+}
+
+// Summary aggregates a run for the -json output.
+type Summary struct {
+	// Total counts unsuppressed diagnostics.
+	Total int `json:"total"`
+	// SuppressedTotal counts diagnostics silenced by ignore comments.
+	SuppressedTotal int `json:"suppressed_total"`
+	// ByAnalyzer maps analyzer name to unsuppressed count.
+	ByAnalyzer map[string]int `json:"by_analyzer"`
+	// SuppressedByAnalyzer maps analyzer name to suppressed count.
+	SuppressedByAnalyzer map[string]int `json:"suppressed_by_analyzer"`
+	// Packages counts the packages checked.
+	Packages int `json:"packages"`
+}
+
+// Check expands the package patterns, type-checks every matched
+// package, runs the given analyzers and applies suppression comments.
+func Check(patterns []string, active []*Analyzer) (*Result, error) {
+	root, modPath, err := findModule(".")
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var diags []Diagnostic
+	var files []*ast.File // every file seen, for suppression scanning
+	npkgs := 0
+	for _, dir := range dirs {
+		pkgFiles, pkgPath, err := parsePackage(fset, root, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkgFiles) == 0 {
+			continue
+		}
+		npkgs++
+		files = append(files, pkgFiles...)
+		pkg, info := typeCheck(fset, imp, pkgPath, pkgFiles)
+		for _, a := range active {
+			if a.Applies != nil && !a.Applies(pkgPath) {
+				continue
+			}
+			p := &Pass{
+				Fset: fset, Files: pkgFiles, Pkg: pkg, Info: info,
+				PkgPath: pkgPath, RootDir: root,
+				analyzer: a, diags: &diags,
+			}
+			a.Run(p)
+		}
+	}
+
+	kept, suppressed := applySuppressions(fset, files, diags)
+	res := &Result{Diagnostics: kept, Suppressed: suppressed}
+	res.Summary = Summary{
+		Total:                len(kept),
+		SuppressedTotal:      len(suppressed),
+		ByAnalyzer:           countByAnalyzer(kept),
+		SuppressedByAnalyzer: countByAnalyzer(suppressed),
+		Packages:             npkgs,
+	}
+	return res, nil
+}
+
+// countByAnalyzer tallies diagnostics per analyzer name.
+func countByAnalyzer(ds []Diagnostic) map[string]int {
+	m := map[string]int{}
+	for _, d := range ds {
+		m[d.Analyzer]++
+	}
+	return m
+}
+
+// findModule walks up from dir to the enclosing go.mod, returning the
+// module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("no go.mod above %s", abs)
+		}
+	}
+}
+
+// expandPatterns resolves the argument list to a sorted set of package
+// directories, expanding trailing /... patterns into every directory
+// under the prefix that contains a non-test .go file. testdata trees
+// and dotted directories are skipped.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	for _, a := range patterns {
+		prefix, recurse := strings.CutSuffix(a, "/...")
+		prefix = filepath.Clean(prefix)
+		if !recurse {
+			seen[prefix] = true
+			continue
+		}
+		err := filepath.WalkDir(prefix, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				seen[filepath.Dir(path)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parsePackage parses the non-test files of the package in dir and
+// derives its module-qualified import path.
+func parsePackage(fset *token.FileSet, root, modPath, dir string) ([]*ast.File, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: %v", dir, err)
+		}
+		files = append(files, f)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil {
+		return nil, "", err
+	}
+	pkgPath := modPath
+	if rel != "." {
+		pkgPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	return files, pkgPath, nil
+}
+
+// typeCheck runs the go/types checker over one package. Type errors are
+// tolerated: analyzers receive whatever facts were resolved, which is
+// complete for a repository that builds.
+func typeCheck(fset *token.FileSet, imp types.Importer, pkgPath string, files []*ast.File) (*types.Package, *types.Info) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // keep going on type errors; facts stay partial
+	}
+	pkg, _ := conf.Check(pkgPath, fset, files, info)
+	return pkg, info
+}
+
+// --- suppressions --------------------------------------------------------
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//albacheck:ignore <analyzer> <reason>
+//
+// The comment silences matching diagnostics on its own line and on the
+// line directly below (so it can trail the offending statement or sit
+// on its own line above it).
+const ignorePrefix = "//albacheck:ignore"
+
+// suppression is one parsed ignore comment.
+type suppression struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+}
+
+// applySuppressions splits diagnostics into kept and suppressed
+// according to the ignore comments found in files, and appends
+// diagnostics for malformed ignore comments (missing analyzer name,
+// unknown analyzer, empty reason).
+func applySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) (kept, suppressed []Diagnostic) {
+	known := analyzerNames()
+	// (file, line, analyzer) -> reason for every line a suppression covers.
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	covers := map[key]string{}
+	var extra []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					extra = append(extra, Diagnostic{
+						Analyzer: "ignore", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: "albacheck:ignore needs an analyzer name and a reason",
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					extra = append(extra, Diagnostic{
+						Analyzer: "ignore", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: fmt.Sprintf("albacheck:ignore names unknown analyzer %q", name),
+					})
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+				if reason == "" {
+					extra = append(extra, Diagnostic{
+						Analyzer: "ignore", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: fmt.Sprintf("albacheck:ignore %s needs a written reason", name),
+					})
+					continue
+				}
+				covers[key{pos.Filename, pos.Line, name}] = reason
+				covers[key{pos.Filename, pos.Line + 1, name}] = reason
+			}
+		}
+	}
+	for _, d := range diags {
+		if reason, ok := covers[key{d.File, d.Line, d.Analyzer}]; ok {
+			d.Reason = reason
+			suppressed = append(suppressed, d)
+			continue
+		}
+		kept = append(kept, d)
+	}
+	kept = append(kept, extra...)
+	sortDiags(kept)
+	sortDiags(suppressed)
+	return kept, suppressed
+}
+
+// sortDiags orders diagnostics by file, line, column, analyzer.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// --- shared AST/type helpers ---------------------------------------------
+
+// exprString renders an expression compactly for diagnostics and for
+// structural equality of guard expressions.
+func exprString(e ast.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+// writeExpr is a minimal expression printer covering the forms guard
+// matching needs; anything unexpected falls back to a positional tag.
+func writeExpr(b *strings.Builder, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		b.WriteString(x.Name)
+	case *ast.SelectorExpr:
+		writeExpr(b, x.X)
+		b.WriteByte('.')
+		b.WriteString(x.Sel.Name)
+	case *ast.BasicLit:
+		b.WriteString(x.Value)
+	case *ast.IndexExpr:
+		writeExpr(b, x.X)
+		b.WriteByte('[')
+		writeExpr(b, x.Index)
+		b.WriteByte(']')
+	case *ast.CallExpr:
+		writeExpr(b, x.Fun)
+		b.WriteByte('(')
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *ast.ParenExpr:
+		writeExpr(b, x.X)
+	case *ast.UnaryExpr:
+		b.WriteString(x.Op.String())
+		writeExpr(b, x.X)
+	case *ast.BinaryExpr:
+		writeExpr(b, x.X)
+		b.WriteString(x.Op.String())
+		writeExpr(b, x.Y)
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeExpr(b, x.X)
+	default:
+		fmt.Fprintf(b, "expr@%d", e.Pos())
+	}
+}
+
+// funcFor resolves the called function object, if any, for a call
+// expression (plain function, method, or qualified identifier).
+func funcFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Qualified identifier (pkg.Func).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package declaring f, or ""
+// for builtins.
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// isMethod reports whether f has a receiver.
+func isMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// pathHasPrefix reports whether pkgPath equals prefix or is nested
+// under it.
+func pathHasPrefix(pkgPath, prefix string) bool {
+	return pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/")
+}
+
+// appliesTo builds an Applies predicate matching any of the given
+// import-path prefixes.
+func appliesTo(prefixes ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, p := range prefixes {
+			if pathHasPrefix(pkgPath, p) {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// locksafeAnalyzer flags slow operations executed while a sync.Mutex or
+// sync.RWMutex acquired in the same function is still held: model
+// training/inference (Fit/Train/Retrain/Predict*), net/http
+// round-trips, and file I/O. This is the exact shape of the bug fixed
+// after PR 1's review, where /api/label trained a random forest while
+// holding the server mutex and /api/health stalled for the whole
+// retrain-with-backoff cycle.
+//
+// The analysis is intra-procedural and flow-approximate: statements are
+// scanned in source order, Lock/RLock adds the receiver expression to
+// the held set, Unlock/RUnlock removes it, and a deferred unlock keeps
+// the mutex held to the end of the function. Function literals are
+// analyzed as separate scopes (a goroutine body does not inherit the
+// caller's held set).
+var locksafeAnalyzer = &Analyzer{
+	Name: "locksafe",
+	Doc:  "slow calls (Fit/Train/Predict, HTTP, file I/O) under a held sync mutex",
+	Run:  runLocksafe,
+}
+
+// slowModelCalls are method/function names treated as model work that
+// must not run under a lock. Exact names, not prefixes, so helpers like
+// TrainTestSplit stay out of scope.
+var slowModelCalls = map[string]bool{
+	"Fit": true, "Train": true, "Retrain": true,
+	"Predict": true, "PredictProba": true, "PredictBatch": true,
+}
+
+// slowHTTPCalls are net/http functions and methods that perform a
+// network round-trip.
+var slowHTTPCalls = map[string]bool{
+	"Get": true, "Post": true, "Head": true, "PostForm": true,
+	"Do": true, "RoundTrip": true,
+}
+
+// slowFileCalls are os package functions that touch the filesystem.
+var slowFileCalls = map[string]bool{
+	"Open": true, "Create": true, "OpenFile": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Mkdir": true, "MkdirAll": true, "Remove": true, "RemoveAll": true,
+	"Rename": true,
+}
+
+func runLocksafe(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					locksafeScope(p, d.Body)
+				}
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// lockEvent is one ordered observation inside a function scope.
+type lockEvent struct {
+	pos  int // file offset, for source ordering
+	kind int // evLock, evUnlock, evSlow
+	key  string
+	call *ast.CallExpr
+	desc string
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evSlow
+)
+
+// locksafeScope scans one function (or function literal) body.
+func locksafeScope(p *Pass, body *ast.BlockStmt) {
+	var events []lockEvent
+	deferred := map[*ast.CallExpr]bool{} // unlock calls inside defer statements
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			locksafeScope(p, x.Body) // separate scope: held set does not flow in
+			return false
+		case *ast.DeferStmt:
+			if key, locking, ok := mutexOp(p.Info, x.Call); ok && !locking {
+				deferred[x.Call] = true
+				_ = key
+			}
+			return true
+		case *ast.CallExpr:
+			if key, locking, ok := mutexOp(p.Info, x); ok {
+				kind := evUnlock
+				if locking {
+					kind = evLock
+				} else if deferred[x] {
+					return true // deferred unlock: mutex stays held to scope end
+				}
+				events = append(events, lockEvent{pos: int(x.Pos()), kind: kind, key: key, call: x})
+				return true
+			}
+			if desc, ok := slowCall(p.Info, x); ok {
+				events = append(events, lockEvent{pos: int(x.Pos()), kind: evSlow, call: x, desc: desc})
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	held := map[string]bool{}
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			held[ev.key] = true
+		case evUnlock:
+			delete(held, ev.key)
+		case evSlow:
+			if len(held) == 0 {
+				continue
+			}
+			keys := make([]string, 0, len(held))
+			for k := range held {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			p.Reportf(ev.call.Pos(), "%s called while %s is held; do slow work outside the lock (snapshot under lock, compute unlocked, swap under lock)", ev.desc, keys[0])
+		}
+	}
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex (un)lock, returning
+// the receiver expression's printed form as the mutex identity.
+func mutexOp(info *types.Info, call *ast.CallExpr) (key string, locking, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	selection, isSelection := info.Selections[sel]
+	if !isSelection {
+		return "", false, false
+	}
+	f, isFunc := selection.Obj().(*types.Func)
+	if !isFunc || funcPkgPath(f) != "sync" {
+		return "", false, false
+	}
+	switch f.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		locking = true
+	case "Unlock", "RUnlock":
+		locking = false
+	default:
+		return "", false, false
+	}
+	return exprString(sel.X), locking, true
+}
+
+// slowCall classifies a call as a slow operation, returning a
+// description for the diagnostic.
+func slowCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	f := funcFor(info, call)
+	if f == nil {
+		// Interface methods and methods on type parameters still resolve
+		// through Selections; anything unresolved is skipped.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && slowModelCalls[sel.Sel.Name] {
+			return "model call " + exprString(call.Fun), true
+		}
+		return "", false
+	}
+	name := f.Name()
+	switch pkg := funcPkgPath(f); pkg {
+	case "net/http":
+		if slowHTTPCalls[name] {
+			return "net/http round-trip " + pkg + "." + name, true
+		}
+	case "os":
+		if slowFileCalls[name] && !isMethod(f) {
+			return "file I/O os." + name, true
+		}
+	}
+	if slowModelCalls[name] {
+		return "model call " + exprString(call.Fun), true
+	}
+	return "", false
+}

@@ -1,0 +1,102 @@
+// Command albacheck is the repository's static-analysis suite: six
+// repo-specific analyzers built on the standard library's go/ast,
+// go/parser, go/types and go/importer packages, enforcing at lint time
+// the invariants this codebase has historically broken by hand (see
+// docs/STATIC_ANALYSIS.md for each analyzer's motivating bug):
+//
+//	locksafe     slow operations (Fit/Train/Predict, net/http
+//	             round-trips, file I/O) reachable while a sync.Mutex /
+//	             RWMutex acquired in the same function is still held
+//	seedrand     global math/rand source or time.Now-derived seeds in
+//	             the experiment-bearing packages; RNGs must be injected
+//	             *rand.Rand so runs stay reproducible
+//	floatsafe    float ==/!=, divisions with unguarded denominators and
+//	             unguarded math.Log/math.Sqrt in the numeric packages
+//	errsilent    unchecked error-returning calls and _ = err discards
+//	             in internal/ outside tests
+//	metricnames  obs metric families whose names break Prometheus
+//	             conventions or are missing from docs/OBSERVABILITY.md
+//	godoc        exported identifiers without doc comments (the former
+//	             cmd/doccheck, widened to all of internal/)
+//
+// Usage:
+//
+//	go run ./cmd/albacheck ./internal/... ./cmd/...
+//	go run ./cmd/albacheck -json ./internal/...
+//	go run ./cmd/albacheck -locksafe=false ./internal/server
+//
+// A trailing /... walks the tree rooted at the prefix (testdata and
+// dotted directories are skipped). Each analyzer can be disabled with
+// -<name>=false. With -json the full diagnostic list, the applied
+// suppressions and a per-analyzer summary are emitted as one JSON
+// object on stdout.
+//
+// A diagnostic is suppressed with a comment on the offending line or
+// the line above:
+//
+//	//albacheck:ignore <analyzer> <reason>
+//
+// The reason is mandatory — an ignore comment without one is itself a
+// diagnostic — and suppressions are counted in the -json summary so a
+// creeping pile of exemptions stays visible. verify.sh runs albacheck
+// between go vet and the race-enabled tests; the gate fails on any
+// unsuppressed diagnostic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit diagnostics, suppressions and summary as JSON")
+		enabled = map[string]*bool{}
+	)
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, true, "run the "+a.Name+" analyzer: "+a.Doc)
+	}
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: albacheck [flags] <pkg-pattern> [pkg-pattern ...]   (dir/... walks a tree)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var active []*Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	res, err := Check(flag.Args(), active)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "albacheck:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "albacheck:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
+		if n := len(res.Diagnostics); n > 0 {
+			fmt.Fprintf(os.Stderr, "albacheck: %d diagnostic(s), %d suppressed\n", n, len(res.Suppressed))
+		}
+	}
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}

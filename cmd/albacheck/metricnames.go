@@ -1,0 +1,185 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// metricnamesAnalyzer cross-checks every obs metric family registered
+// in source against the repository's naming conventions and the
+// operator catalog in docs/OBSERVABILITY.md. The runtime doc test
+// (internal/obs/doc_test.go) walks the live default registry, which
+// only sees families whose packages that test binary links; this
+// analyzer closes the gap statically, so a family registered anywhere
+// in the tree can never ship undocumented or mis-named.
+//
+// Checks per registration (obs.NewCounter, obs.NewGaugeVec, Registry
+// methods, ...):
+//
+//   - the name is a compile-time constant (a computed name defeats both
+//     this analyzer and the doc test),
+//   - snake_case: ^[a-z][a-z0-9_]*$,
+//   - counters end in _total; gauges and histograms do not,
+//   - families with Unit "seconds" (other than counters) end in
+//     _seconds,
+//   - label keys are snake_case,
+//   - the name appears backtick-quoted in docs/OBSERVABILITY.md.
+var metricnamesAnalyzer = &Analyzer{
+	Name: "metricnames",
+	Doc:  "obs metric families vs Prometheus naming rules and docs/OBSERVABILITY.md",
+	Run:  runMetricnames,
+}
+
+// obsPkgPath is the metrics registry package whose registration calls
+// this analyzer tracks.
+const obsPkgPath = "albadross/internal/obs"
+
+// metricKind classifies a registration function name.
+func metricKind(fn string) (kind string, ok bool) {
+	switch fn {
+	case "NewCounter", "NewCounterVec", "Counter", "CounterVec":
+		return "counter", true
+	case "NewGauge", "NewGaugeVec", "Gauge", "GaugeVec":
+		return "gauge", true
+	case "NewHistogram", "NewHistogramVec", "Histogram", "HistogramVec":
+		return "histogram", true
+	}
+	return "", false
+}
+
+// catalogCache memoizes the parsed observability catalog per root.
+var catalogCache sync.Map // string -> map[string]bool or error sentinel nil
+
+// obsCatalog returns the set of backtick-quoted identifiers in
+// RootDir/docs/OBSERVABILITY.md, or nil when the file is unreadable.
+func obsCatalog(root string) map[string]bool {
+	if v, ok := catalogCache.Load(root); ok {
+		m, _ := v.(map[string]bool)
+		return m
+	}
+	var names map[string]bool
+	if data, err := os.ReadFile(filepath.Join(root, "docs", "OBSERVABILITY.md")); err == nil {
+		names = map[string]bool{}
+		parts := strings.Split(string(data), "`")
+		for i := 1; i < len(parts); i += 2 {
+			names[parts[i]] = true
+		}
+	}
+	catalogCache.Store(root, names)
+	return names
+}
+
+func runMetricnames(p *Pass) {
+	if p.PkgPath == obsPkgPath {
+		return // the registry's own forwarding wrappers pass Opts through
+	}
+	catalog := obsCatalog(p.RootDir)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(p.Info, call)
+			if fn == nil || funcPkgPath(fn) != obsPkgPath {
+				return true
+			}
+			kind, ok := metricKind(fn.Name())
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			checkRegistration(p, call, kind, catalog)
+			return true
+		})
+	}
+}
+
+// checkRegistration validates one obs.New*/Registry.* family
+// registration.
+func checkRegistration(p *Pass, call *ast.CallExpr, kind string, catalog map[string]bool) {
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.CompositeLit)
+	if !ok {
+		// Opts passed through a variable: the name is not statically
+		// checkable here, which also breaks the doc-drift guarantee.
+		p.Reportf(call.Args[0].Pos(), "obs registration must pass an obs.Opts literal so the metric name is statically checkable")
+		return
+	}
+	var name, unit string
+	var namePos ast.Expr
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Name":
+			namePos = kv.Value
+			if v := constVal(p.Info, kv.Value); v != nil && v.Kind() == constant.String {
+				name = constant.StringVal(v)
+			}
+		case "Unit":
+			if v := constVal(p.Info, kv.Value); v != nil && v.Kind() == constant.String {
+				unit = constant.StringVal(v)
+			}
+		}
+	}
+	if namePos == nil {
+		p.Reportf(lit.Pos(), "obs.Opts literal has no Name field")
+		return
+	}
+	if name == "" {
+		p.Reportf(namePos.Pos(), "metric Name must be a non-empty string constant")
+		return
+	}
+	if !snakeCase(name) {
+		p.Reportf(namePos.Pos(), "metric name %q is not snake_case ([a-z][a-z0-9_]*)", name)
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			p.Reportf(namePos.Pos(), "counter %q must end in _total", name)
+		}
+	default:
+		if strings.HasSuffix(name, "_total") {
+			p.Reportf(namePos.Pos(), "%s %q must not use the counter suffix _total", kind, name)
+		}
+		if unit == "seconds" && !strings.HasSuffix(name, "_seconds") {
+			p.Reportf(namePos.Pos(), "%s %q has Unit \"seconds\" but does not end in _seconds", kind, name)
+		}
+	}
+	for _, arg := range call.Args[1:] {
+		if v := constVal(p.Info, arg); v != nil && v.Kind() == constant.String {
+			if key := constant.StringVal(v); !snakeCase(key) {
+				p.Reportf(arg.Pos(), "label key %q is not snake_case", key)
+			}
+		}
+	}
+	if catalog == nil {
+		p.Reportf(namePos.Pos(), "docs/OBSERVABILITY.md not found under module root; cannot cross-check metric %q", name)
+		return
+	}
+	if !catalog[name] {
+		p.Reportf(namePos.Pos(), "metric %q is not documented in docs/OBSERVABILITY.md (add it to the catalog table)", name)
+	}
+}
+
+// snakeCase reports whether s matches ^[a-z][a-z0-9_]*$.
+func snakeCase(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z':
+		case i > 0 && (c == '_' || (c >= '0' && c <= '9')):
+		default:
+			return false
+		}
+	}
+	return s != ""
+}

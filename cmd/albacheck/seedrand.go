@@ -1,0 +1,92 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// seedrandAnalyzer bans the two ways a supposedly reproducible
+// experiment picks up hidden global state: calls to math/rand's
+// package-level functions (which share the unseeded global source), and
+// rand.NewSource / rand.New seeds derived from time.Now. Every RNG in
+// the experiment-bearing packages must be an injected *rand.Rand whose
+// seed the caller owns, so a run's outputs are a pure function of its
+// configuration — the determinism probe in the verify skill (same seed
+// twice, diff the CSVs) depends on it.
+var seedrandAnalyzer = &Analyzer{
+	Name: "seedrand",
+	Doc:  "global math/rand source or time.Now-derived seeds in experiment packages",
+	Applies: appliesTo(
+		"albadross/internal/ml",
+		"albadross/internal/active",
+		"albadross/internal/telemetry",
+		"albadross/internal/hpas",
+		"albadross/internal/chaos",
+		"albadross/internal/features",
+	),
+	Run: runSeedrand,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// an explicit source rather than touching the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+// isRandPkg reports whether path is a math/rand flavor.
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runSeedrand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(p.Info, call)
+			if fn == nil || !isRandPkg(funcPkgPath(fn)) {
+				return true
+			}
+			if isMethod(fn) {
+				return true // methods on an injected *rand.Rand are the point
+			}
+			name := fn.Name()
+			if !randConstructors[name] {
+				p.Reportf(call.Pos(), "rand.%s uses the global math/rand source; inject a seeded *rand.Rand instead", name)
+				return true
+			}
+			if name == "NewSource" || name == "NewPCG" {
+				for _, arg := range call.Args {
+					if tc := findTimeNow(p.Info, arg); tc != nil {
+						p.Reportf(tc.Pos(), "time.Now-derived seed defeats reproducibility; thread the seed through configuration")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// findTimeNow returns the first call to time.Now in the expression
+// tree, or nil.
+func findTimeNow(info *types.Info, e ast.Expr) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := funcFor(info, call); fn != nil && funcPkgPath(fn) == "time" && fn.Name() == "Now" {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}

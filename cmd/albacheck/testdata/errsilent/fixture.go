@@ -1,0 +1,43 @@
+// Package fixture exercises the errsilent analyzer: error-returning
+// calls whose result nobody reads, and errors discarded into the blank
+// identifier.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func droppedCall() {
+	mayFail() // want "error returned by fixture.mayFail is not checked"
+}
+
+func blankDiscard() {
+	_ = mayFail() // want "error from fixture.mayFail discarded into _"
+}
+
+func tupleBlankDiscard() {
+	_, _ = os.Open("missing") // want "error from os.Open discarded into _"
+}
+
+func deferredDrop(f *os.File) {
+	defer f.Close() // want "error returned by os.File.Close is not checked"
+}
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func allowlisted() string {
+	fmt.Println("stdout is best-effort") // ok: allowlisted
+	var b strings.Builder
+	b.WriteString("builders cannot fail") // ok: allowlisted
+	return b.String()
+}

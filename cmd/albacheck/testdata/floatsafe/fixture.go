@@ -1,0 +1,79 @@
+// Package fixture exercises the floatsafe analyzer: exact float
+// equality, unguarded division and unguarded math.Log/Sqrt.
+package fixture
+
+import "math"
+
+func exactEquality(a, b float64) bool {
+	return a == b // want "float == comparison is exact"
+}
+
+func exactInequality(a, b float32) bool {
+	return a != b // want "float != comparison is exact"
+}
+
+func zeroSentinelOK(a float64) bool { return a == 0 } // ok: exact-zero sentinel
+
+func nanIdiomOK(a float64) bool { return a != a } // ok: portable NaN test
+
+func unguardedDivision(a, b float64) float64 {
+	return a / b // want "float division by b has no zero guard"
+}
+
+func guardedDivision(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b // ok: zero guard above
+}
+
+func lengthGuardedDivision(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)-1) // ok: len(xs) is compared above
+}
+
+func epsilonDenominatorOK(a, b float64) float64 {
+	return a / (b*b + 1e-9) // ok: provably positive denominator
+}
+
+func unguardedCompoundDivision(sum float64, n float64) float64 {
+	sum /= n // want "float division by n has no zero guard"
+	return sum
+}
+
+func guardedCompoundDivision(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs)) // ok: len(xs) is compared above
+	return mean
+}
+
+func unguardedLog(x float64) float64 {
+	return math.Log(x) // want "has no domain guard"
+}
+
+func guardedLog(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log(x) // ok: domain guard above
+}
+
+func unguardedSqrt(x float64) float64 {
+	return math.Sqrt(x) // want "has no domain guard"
+}
+
+func sumOfSquaresOK(a, b float64) float64 {
+	return math.Sqrt(a*a + b*b) // ok: provably nonnegative argument
+}

@@ -1,0 +1,32 @@
+// Package fixture exercises the godoc analyzer: every exported
+// top-level declaration needs a doc comment.
+package fixture
+
+// Documented carries its doc comment.
+type Documented struct{}
+
+type Undocumented struct{} // want "exported type Undocumented has no doc comment"
+
+// DocumentedFunc carries its doc comment.
+func DocumentedFunc() {}
+
+func Exported() {} // want "exported function Exported has no doc comment"
+
+const Shout = 1 // want "exported const Shout has no doc comment"
+
+// Grouped constants share the block comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+var Loud = 1 // want "exported var Loud has no doc comment"
+
+// Method carries its doc comment.
+func (Documented) Method() {}
+
+func (Documented) Exposed() {} // want "exported method Documented.Exposed has no doc comment"
+
+type hidden struct{}
+
+func (hidden) Exported() {} // ok: method on an unexported type

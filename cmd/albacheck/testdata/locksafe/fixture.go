@@ -1,0 +1,66 @@
+// Package fixture exercises the locksafe analyzer: slow operations
+// (model Fit/Predict, HTTP round-trips, file I/O) must not run while a
+// sync mutex acquired in the same function is held.
+package fixture
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+type model struct{}
+
+func (model) Fit(x [][]float64) error            { return nil }
+func (model) PredictProba(x []float64) []float64 { return nil }
+func (model) snapshot(x [][]float64) [][]float64 { return x }
+
+type server struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	mdl model
+}
+
+func (s *server) trainUnderLock(x [][]float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.mdl.Fit(x) // want "model call s.mdl.Fit called while s.mu is held"
+}
+
+func (s *server) ioUnderLock() {
+	s.mu.Lock()
+	_, _ = http.Get("http://example.com/probe") // want "net/http round-trip net/http.Get called while s.mu is held"
+	_, _ = os.ReadFile("/etc/hosts")            // want "file I/O os.ReadFile called while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *server) predictUnderRLock(x []float64) []float64 {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.mdl.PredictProba(x) // want "model call s.mdl.PredictProba called while s.rw is held"
+}
+
+func (s *server) snapshotThenTrain(x [][]float64) {
+	s.mu.Lock()
+	snap := s.mdl.snapshot(x)
+	s.mu.Unlock()
+	_ = s.mdl.Fit(snap) // ok: lock released before the slow call
+}
+
+func (s *server) relockAfterTraining(x [][]float64) {
+	s.mu.Lock()
+	snap := s.mdl.snapshot(x)
+	s.mu.Unlock()
+	_ = s.mdl.Fit(snap)
+	s.mu.Lock()
+	s.mdl = model{}
+	s.mu.Unlock()
+}
+
+func (s *server) goroutineIsSeparateScope() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_, _ = os.ReadFile("/etc/hosts") // ok: the literal runs on its own goroutine
+	}()
+}

@@ -1,0 +1,25 @@
+// Package fixture exercises the metricnames analyzer against the
+// catalog in this directory's docs/OBSERVABILITY.md.
+package fixture
+
+import "albadross/internal/obs"
+
+var optsVar = obs.Opts{Name: "computed_total", Help: "h", Unit: "rows"}
+
+var (
+	documented = obs.NewCounter(obs.Opts{Name: "good_total", Help: "h", Unit: "rows"})
+
+	badSuffix = obs.NewCounter(obs.Opts{Name: "bad_counter", Help: "h", Unit: "rows"}) // want "counter \"bad_counter\" must end in _total"
+
+	badCase = obs.NewGauge(obs.Opts{Name: "BadName", Help: "h", Unit: "ratio"}) // want "not snake_case"
+
+	gaugeWithTotal = obs.NewGauge(obs.Opts{Name: "depth_total", Help: "h", Unit: "rows"}) // want "must not use the counter suffix _total"
+
+	badUnit = obs.NewHistogram(obs.Opts{Name: "wait_time", Help: "h", Unit: "seconds"}) // want "does not end in _seconds"
+
+	undocumented = obs.NewHistogram(obs.Opts{Name: "mystery_seconds", Help: "h", Unit: "seconds"}) // want "not documented in docs/OBSERVABILITY.md"
+
+	badLabel = obs.NewCounterVec(obs.Opts{Name: "labeled_total", Help: "h", Unit: "rows"}, "BadKey") // want "label key \"BadKey\" is not snake_case"
+
+	indirect = obs.NewCounter(optsVar) // want "must pass an obs.Opts literal"
+)

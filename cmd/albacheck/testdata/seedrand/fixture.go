@@ -1,0 +1,27 @@
+// Package fixture exercises the seedrand analyzer: the global
+// math/rand source and time.Now-derived seeds are banned; every RNG is
+// an injected *rand.Rand.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalSource() int {
+	rand.Seed(42)                      // want "rand.Seed uses the global math/rand source"
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle uses the global math/rand source"
+	return rand.Intn(10)               // want "rand.Intn uses the global math/rand source"
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "time.Now-derived seed defeats reproducibility"
+}
+
+func injectedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: the caller owns the seed
+}
+
+func injectedRand(rng *rand.Rand) int {
+	return rng.Intn(10) // ok: methods on an injected *rand.Rand
+}

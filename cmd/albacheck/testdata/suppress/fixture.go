@@ -1,0 +1,37 @@
+// Package fixture exercises the //albacheck:ignore suppression syntax:
+// a trailing or preceding ignore comment with a reason silences a
+// diagnostic; one without a reason is itself a diagnostic.
+package fixture
+
+import (
+	"os"
+	"sync"
+)
+
+var mu sync.Mutex
+
+func suppressedWithReason() {
+	mu.Lock()
+	//albacheck:ignore locksafe config reload happens once at startup, never on the serving path
+	_, _ = os.ReadFile("config.json")
+	mu.Unlock()
+}
+
+func suppressedTrailing() {
+	mu.Lock()
+	_, _ = os.ReadFile("config.json") //albacheck:ignore locksafe startup-only path, lock is uncontended here
+	mu.Unlock()
+}
+
+func missingReason() {
+	mu.Lock()
+	//albacheck:ignore locksafe
+	_, _ = os.ReadFile("config.json")
+	mu.Unlock()
+}
+
+func unknownAnalyzer() {
+	//albacheck:ignore nosuchcheck the analyzer name is wrong
+	mu.Lock()
+	mu.Unlock()
+}

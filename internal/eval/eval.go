@@ -178,6 +178,9 @@ func CrossValidate(factory ml.Factory, x [][]float64, y []int, nClasses, healthy
 		}
 		res.FoldF1 = append(res.FoldF1, rep.MacroF1)
 	}
+	if len(res.FoldF1) == 0 {
+		return res, nil
+	}
 	mean := 0.0
 	for _, v := range res.FoldF1 {
 		mean += v

@@ -277,10 +277,10 @@ func (e Extractor) Extract(s []float64) []float64 {
 		lastMax, lastMin := 0, 0
 		zeros := 0
 		for i, v := range s {
-			if v == mx {
+			if v == mx { //albacheck:ignore floatsafe exact match against the series' own Max locates extremum positions
 				lastMax = i
 			}
-			if v == mn {
+			if v == mn { //albacheck:ignore floatsafe exact match against the series' own Min locates extremum positions
 				lastMin = i
 			}
 			if v == 0 {

@@ -410,7 +410,7 @@ func WriteRunDir(dir string, samples []*telemetry.NodeSample, schema []telemetry
 			return err
 		}
 		if err := WriteCSV(f, s, schema); err != nil {
-			f.Close()
+			f.Close() //albacheck:ignore errsilent best-effort close on the error path; the write error dominates
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -451,7 +451,7 @@ func ReadRunDirOpts(dir string, schema []telemetry.Metric, opts Options) ([]*tel
 			fileOpts.File = e.Name()
 		}
 		s, _, rep, err := ReadCSVOpts(f, schema, fileOpts)
-		f.Close()
+		f.Close() //albacheck:ignore errsilent file was only read; Close errors carry no data-loss signal
 		agg.Merge(rep)
 		if err != nil {
 			if opts.Lenient {

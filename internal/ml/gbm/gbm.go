@@ -147,6 +147,7 @@ func (m *Model) Fit(x [][]float64, y []int, nClasses int) error {
 			})
 			tr.SetHessLeaf(func(gs, hs float64) float64 {
 				// Newton step with the multiclass (K-1)/K correction.
+				//albacheck:ignore floatsafe kf = float64(nClasses) >= 1 (validated by Fit); hs is a hessian sum clamped >= 1e-6 per sample
 				return (kf - 1) / kf * gs / hs
 			})
 			if err := tr.Fit(xs, grad, hess); err != nil {

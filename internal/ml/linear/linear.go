@@ -113,7 +113,7 @@ func (m *Model) Fit(x [][]float64, y []int, nClasses int) error {
 
 	// lambda follows sklearn: penalty weight = 1/C, objective averaged
 	// over samples.
-	lambda := 1 / (cfg.C * float64(n))
+	lambda := 1 / (cfg.C * float64(n)) //albacheck:ignore floatsafe withDefaults forces C > 0 and ValidateTrainingInput rejects n == 0
 	gradW := make([][]float64, nClasses)
 	for c := range gradW {
 		gradW[c] = make([]float64, d)
@@ -152,7 +152,7 @@ func (m *Model) Fit(x [][]float64, y []int, nClasses int) error {
 				gradB[c] += diff
 			}
 		}
-		invN := 1 / float64(n)
+		invN := 1 / float64(n) //albacheck:ignore floatsafe n = len(x) > 0 after ValidateTrainingInput
 		maxStep := 0.0
 		for c := 0; c < nClasses; c++ {
 			for j := 0; j < d; j++ {

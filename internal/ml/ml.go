@@ -115,7 +115,7 @@ func Softmax(logits []float64, out []float64) []float64 {
 		sum += e
 	}
 	for i := range out {
-		out[i] /= sum
+		out[i] /= sum //albacheck:ignore floatsafe sum >= 1: the max logit contributes Exp(0) = 1 to it
 	}
 	return out
 }

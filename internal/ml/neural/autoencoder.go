@@ -115,6 +115,7 @@ func (a *Autoencoder) Fit(x [][]float64) error {
 				recon := outs[len(outs)-1]
 				// MSE gradient at the identity output layer.
 				for j := range delta {
+					//albacheck:ignore floatsafe bs = end-start >= 1 by loop construction; d = len(delta) >= 1 whenever this loop body runs
 					delta[j] = 2 * (recon[j] - x[i][j]) / (float64(d) * bs)
 				}
 				a.Net.backward(outs, delta, g)
@@ -169,6 +170,9 @@ func (a *Autoencoder) Reconstruct(x []float64) []float64 {
 // one sample.
 func (a *Autoencoder) ReconstructionError(x []float64) float64 {
 	r := a.Reconstruct(x)
+	if len(r) == 0 {
+		return 0
+	}
 	s := 0.0
 	for j := range r {
 		d := r[j] - x[j]

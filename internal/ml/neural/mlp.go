@@ -113,9 +113,9 @@ func (m *MLP) Fit(x [][]float64, y []int, nClasses int) error {
 				// Cross-entropy delta at the (identity) output layer.
 				for c := range p {
 					if y[i] == c {
-						delta[c] = (p[c] - 1) / bs
+						delta[c] = (p[c] - 1) / bs //albacheck:ignore floatsafe bs = end-start >= 1 by loop construction
 					} else {
-						delta[c] = p[c] / bs
+						delta[c] = p[c] / bs //albacheck:ignore floatsafe bs = end-start >= 1 by loop construction
 					}
 				}
 				m.Net.backward(outs, delta, g)

@@ -77,6 +77,9 @@ func newNetwork(sizes []int, acts []Activation, rng *rand.Rand) *network {
 	nw := &network{}
 	for l := 1; l < len(sizes); l++ {
 		in, out := sizes[l-1], sizes[l]
+		if in <= 0 || out <= 0 {
+			panic(fmt.Sprintf("neural: layer %d has non-positive width (%d -> %d)", l, in, out))
+		}
 		bound := math.Sqrt(6.0 / float64(in+out))
 		w := make([][]float64, out)
 		for o := range w {

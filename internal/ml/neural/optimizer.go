@@ -87,8 +87,9 @@ func (a *adamState) step(params, grads []float64) {
 		g := grads[i]
 		a.m[i] = beta1*a.m[i] + (1-beta1)*g
 		a.v[i] = beta2*a.v[i] + (1-beta2)*g*g
-		mh := a.m[i] / c1
-		vh := a.v[i] / c2
+		mh := a.m[i] / c1 //albacheck:ignore floatsafe c1 = 1-beta1^t >= 1-beta1 > 0 for t >= 1
+		vh := a.v[i] / c2 //albacheck:ignore floatsafe c2 = 1-beta2^t >= 1-beta2 > 0 for t >= 1
+		//albacheck:ignore floatsafe vh is an EWMA of squared gradients scaled by positive c2, hence nonnegative
 		params[i] -= a.lr * mh / (math.Sqrt(vh) + eps)
 	}
 }
@@ -104,6 +105,7 @@ func (a *adadeltaState) step(params, grads []float64) {
 	for i := range params {
 		g := grads[i]
 		a.eg[i] = a.rho*a.eg[i] + (1-a.rho)*g*g
+		//albacheck:ignore floatsafe eg/ex are EWMAs of squares (nonnegative) and eps > 0, so both radicands are positive
 		update := -math.Sqrt(a.ex[i]+a.eps) / math.Sqrt(a.eg[i]+a.eps) * g
 		a.ex[i] = a.rho*a.ex[i] + (1-a.rho)*update*update
 		params[i] += update

@@ -198,8 +198,10 @@ func (b *clsBuilder) grow(idx []int, depth int) int32 {
 	}
 	mkLeaf := func() int32 {
 		probs := make([]float64, t.NClasses)
-		for c := range probs {
-			probs[c] = counts[c] / total
+		if total > 0 {
+			for c := range probs {
+				probs[c] = counts[c] / total
+			}
 		}
 		t.Nodes = append(t.Nodes, node{Feature: -1, Probs: probs})
 		return int32(len(t.Nodes) - 1)
@@ -216,7 +218,7 @@ func (b *clsBuilder) grow(idx []int, depth int) int32 {
 	if len(left) < t.Cfg.MinSamplesLeaf || len(right) < t.Cfg.MinSamplesLeaf {
 		return mkLeaf()
 	}
-	t.Importances[feat] += gain * float64(len(idx)) / b.rootSize
+	t.Importances[feat] += gain * float64(len(idx)) / b.rootSize //albacheck:ignore floatsafe rootSize is the root node's total sample weight, positive for any input Fit accepts
 	// Reserve this node's slot before growing children.
 	t.Nodes = append(t.Nodes, node{Feature: feat, Threshold: thr})
 	self := int32(len(t.Nodes) - 1)
@@ -230,6 +232,9 @@ func (b *clsBuilder) grow(idx []int, depth int) int32 {
 // bestSplit scans candidate features for the impurity-minimizing split.
 func (b *clsBuilder) bestSplit(idx []int, parentCounts []float64, total float64) (feat int, thr, gain float64) {
 	t := b.t
+	if total <= 0 {
+		return -1, 0, 0
+	}
 	parentImp := impurity(parentCounts, total, t.Cfg.Criterion)
 	feat, gain = -1, 0
 	order := make([]int, len(idx))
@@ -252,7 +257,7 @@ func (b *clsBuilder) bestSplit(idx []int, parentCounts []float64, total float64)
 			leftTotal += w
 			leftN++
 			v, next := b.x[i][f], b.x[order[k+1]][f]
-			if v == next {
+			if v == next { //albacheck:ignore floatsafe adjacent equal values in the feature-sorted order are not a split point; exact tie test intended
 				continue
 			}
 			if leftN < t.Cfg.MinSamplesLeaf || len(order)-leftN < t.Cfg.MinSamplesLeaf {
@@ -515,7 +520,7 @@ func (b *regBuilder) bestSplit(idx []int, parent regStats) (feat int, thr, gain 
 			lSum += v
 			lSumSq += v * v
 			x1, x2 := b.x[i][f], b.x[order[k+1]][f]
-			if x1 == x2 {
+			if x1 == x2 { //albacheck:ignore floatsafe adjacent equal values in the feature-sorted order are not a split point; exact tie test intended
 				continue
 			}
 			ln := k + 1
@@ -627,7 +632,7 @@ func impurity(counts []float64, total float64, crit Criterion) float64 {
 		for _, c := range counts {
 			if c > 0 {
 				p := c / total
-				h -= p * math.Log2(p)
+				h -= p * math.Log2(p) //albacheck:ignore floatsafe p > 0 because c > 0 is checked and total > 0 past the prologue
 			}
 		}
 		return h

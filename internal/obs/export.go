@@ -293,11 +293,11 @@ func Handler(r *Registry) http.Handler {
 		}
 		if wantsPrometheus(req) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			_ = r.WritePrometheus(w)
+			_ = r.WritePrometheus(w) //albacheck:ignore errsilent best-effort body write; after the header is sent a failed write only means the scraper hung up
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = r.Snapshot().WriteJSON(w)
+		_ = r.Snapshot().WriteJSON(w) //albacheck:ignore errsilent best-effort body write; after the header is sent a failed write only means the scraper hung up
 	})
 }
 

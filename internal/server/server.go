@@ -282,7 +282,7 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_ = json.NewEncoder(w).Encode(v) //albacheck:ignore errsilent status is already committed; an encode failure here only means the client hung up
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
@@ -313,6 +313,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		if s.cfg.Strategy.NeedsProbs() {
 			ctx.Probs = make([][]float64, len(s.pool))
 			for k, i := range s.pool {
+				//albacheck:ignore locksafe strategy selection must score a frozen pool/model pair; calls are bounded by the human annotation rate
 				ctx.Probs[k] = s.model.PredictProba(s.cfg.Data.X[i])
 			}
 		}
@@ -343,7 +344,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		Input:    meta.Input,
 		Node:     meta.Node,
 		Classes:  s.cfg.Data.Classes,
-		Probs:    s.model.PredictProba(s.cfg.Data.X[i]),
+		Probs:    s.model.PredictProba(s.cfg.Data.X[i]), //albacheck:ignore locksafe single-sample inference on the pending item; the response must match the model that selected it
 		PoolSize: len(s.pool),
 	}
 	if imp, ok := s.model.(explain.Importancer); ok && s.cfg.FeatureNames != nil {
@@ -437,17 +438,23 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// Snapshot the model under the lock, then run inference unlocked so a
+	// slow predict cannot stall annotation traffic.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if len(req.Features) != s.cfg.Data.Dim() {
+		dim := s.cfg.Data.Dim()
+		s.mu.Unlock()
 		writeErr(w, http.StatusBadRequest,
-			fmt.Errorf("expected %d features, got %d", s.cfg.Data.Dim(), len(req.Features)))
+			fmt.Errorf("expected %d features, got %d", dim, len(req.Features)))
 		return
 	}
-	probs := s.model.PredictProba(req.Features)
+	model := s.model
+	classes := s.cfg.Data.Classes
+	s.mu.Unlock()
+	probs := model.PredictProba(req.Features)
 	best := ml.Argmax(probs)
 	writeJSON(w, http.StatusOK, DiagnoseResponse{
-		Label:      s.cfg.Data.Classes[best],
+		Label:      classes[best],
 		Confidence: probs[best],
 		Probs:      probs,
 	})
@@ -486,7 +493,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	_, _ = w.Write([]byte(indexHTML))
+	_, _ = w.Write([]byte(indexHTML)) //albacheck:ignore errsilent best-effort body write of the static page; nothing to do if the client hung up
 }
 
 // indexHTML is a dependency-free annotation page: it polls /api/next,

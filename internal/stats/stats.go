@@ -64,7 +64,9 @@ func SampleVar(xs []float64) float64 {
 }
 
 // Std returns the population standard deviation of xs.
-func Std(xs []float64) float64 { return math.Sqrt(Var(xs)) }
+func Std(xs []float64) float64 {
+	return math.Sqrt(Var(xs)) //albacheck:ignore floatsafe Var is a sum of squares over a positive count (or NaN for short input), never negative
+}
 
 // Min returns the minimum of xs, or NaN for an empty slice.
 func Min(xs []float64) float64 {
@@ -499,7 +501,7 @@ func CidCE(xs []float64, normalize bool) float64 {
 		d := v[i] - v[i-1]
 		s += d * d
 	}
-	return math.Sqrt(s)
+	return math.Sqrt(s) //albacheck:ignore floatsafe s is a sum of squares, never negative
 }
 
 // NumberPeaks returns the number of peaks of at least the given support: a
@@ -594,11 +596,11 @@ func BinnedEntropy(xs []float64, bins int) float64 {
 		return math.NaN()
 	}
 	lo, hi := Min(xs), Max(xs)
-	if hi == lo {
-		return 0
-	}
 	counts := make([]float64, bins)
 	w := (hi - lo) / float64(bins)
+	if w <= 0 {
+		return 0 // constant series, or a range so narrow the bin width underflows
+	}
 	for _, x := range xs {
 		b := int((x - lo) / w)
 		if b >= bins {
@@ -609,11 +611,10 @@ func BinnedEntropy(xs []float64, bins int) float64 {
 		}
 		counts[b]++
 	}
-	n := float64(len(xs))
 	h := 0.0
 	for _, c := range counts {
-		if c > 0 {
-			p := c / n
+		p := c / float64(len(xs))
+		if p > 0 {
 			h -= p * math.Log(p)
 		}
 	}
@@ -750,7 +751,7 @@ func HasDuplicateMax(xs []float64) bool {
 	m := Max(xs)
 	n := 0
 	for _, x := range xs {
-		if x == m {
+		if x == m { //albacheck:ignore floatsafe exact match against the series' own Max counts duplicate extrema
 			n++
 			if n > 1 {
 				return true
@@ -768,7 +769,7 @@ func HasDuplicateMin(xs []float64) bool {
 	m := Min(xs)
 	n := 0
 	for _, x := range xs {
-		if x == m {
+		if x == m { //albacheck:ignore floatsafe exact match against the series' own Min counts duplicate extrema
 			n++
 			if n > 1 {
 				return true

@@ -194,8 +194,8 @@ func CumulativeFlags(schema []Metric) []bool {
 func hash64(parts ...string) uint64 {
 	h := fnv.New64a()
 	for _, p := range parts {
-		_, _ = h.Write([]byte(p))
-		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(p)) //albacheck:ignore errsilent hash.Hash documents that Write never returns an error
+		_, _ = h.Write([]byte{0}) //albacheck:ignore errsilent hash.Hash documents that Write never returns an error
 	}
 	return h.Sum64()
 }

@@ -1,7 +1,19 @@
 #!/bin/sh
-# Tier-1 verification gate (see ROADMAP.md): vet, build, race-enabled
-# tests. Run from the repository root; exits non-zero on first failure.
+# Tier-1 verification gate (see ROADMAP.md): vet, build, repo-specific
+# static analysis, race-enabled tests. Run from the repository root;
+# exits non-zero on first failure.
+#
+#   ./verify.sh          # the standard gate
+#   ./verify.sh --deep   # additionally smoke-fuzzes the CSV parser
 set -eu
+
+deep=0
+for arg in "$@"; do
+  case "$arg" in
+    --deep) deep=1 ;;
+    *) echo "usage: ./verify.sh [--deep]" >&2; exit 2 ;;
+  esac
+done
 
 echo "== go vet ./..."
 go vet ./...
@@ -9,10 +21,15 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== doccheck (godoc coverage: obs, stream, server)"
-go run ./cmd/doccheck internal/obs internal/stream internal/server
+echo "== albacheck (repo-specific static analysis; see docs/STATIC_ANALYSIS.md)"
+go run ./cmd/albacheck ./internal/... ./cmd/...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+if [ "$deep" -eq 1 ]; then
+  echo "== fuzz smoke: FuzzReadCSV (10s)"
+  go test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/ldms/
+fi
 
 echo "verify: OK"
