@@ -38,6 +38,8 @@ func serve(args []string) {
 		reqTimeo = fs.Duration("request-timeout", 30*time.Second, "per-request read/write timeout")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (see docs/OBSERVABILITY.md)")
+		batchMax = fs.Int("batch-max", 64, "max rows per coalesced /api/diagnose inference pass (<=1 disables batching)")
+		batchWai = fs.Duration("batch-wait", 0, "extra time a forming batch waits for stragglers (0 = adaptive only)")
 	)
 	fs.Parse(args)
 	if *dataFile == "" {
@@ -75,10 +77,14 @@ func serve(args []string) {
 		Seed:         *seed + 7,
 		Log:          logger,
 		EnablePprof:  *pprofOn,
+		BatchMaxSize: *batchMax,
+		BatchMaxWait: *batchWai,
+		Prep:         prep,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	defer srv.Close()
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -1,0 +1,128 @@
+// Command loadgen drives an albadross annotation server's
+// /api/diagnose endpoint with synthetic traffic and reports throughput
+// and latency percentiles. It has two modes:
+//
+//	loadgen -addr http://127.0.0.1:8080 -duration 10s -c 8 -rows 16
+//
+// targets a live server (feature width discovered via /api/schema), and
+//
+//	loadgen -selfcheck [-out BENCH_4.json] [-baseline BENCH_4.json]
+//
+// runs the fully self-contained serving benchmark: it builds the
+// synthetic dataset, starts the real server in-process, measures the
+// serial (single-vector, no coalescing) baseline against the batched
+// path, and either writes the report or compares it with a committed
+// baseline (non-zero exit on regression). verify.sh --deep runs the
+// comparison form.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"albadross/internal/loadgen"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "base URL of a live server to drive (live mode)")
+		duration  = flag.Duration("duration", 5*time.Second, "load duration (per phase in selfcheck mode)")
+		conc      = flag.Int("c", 8, "concurrent request loops")
+		qps       = flag.Float64("qps", 0, "target aggregate request rate; 0 = closed loop (live mode)")
+		rows      = flag.Int("rows", 1, "feature vectors per request (live mode; selfcheck batched phase uses -selfcheck-rows)")
+		seed      = flag.Int64("seed", 1, "seed for generated traffic")
+		selfcheck = flag.Bool("selfcheck", false, "run the in-process serial-vs-batched benchmark")
+		scRows    = flag.Int("selfcheck-rows", 64, "rows per request in the selfcheck batched phase")
+		trials    = flag.Int("trials", 1, "trials per selfcheck phase; best is reported")
+		out       = flag.String("out", "", "write the selfcheck report (BENCH_4.json) here")
+		baseline  = flag.String("baseline", "", "compare the selfcheck report against this committed baseline")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional regression vs the baseline")
+		minSpeed  = flag.Float64("min-speedup", 3.0, "required batched/serial throughput ratio")
+		quiet     = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...interface{}) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+		}
+	}
+
+	if *selfcheck {
+		report, err := loadgen.Selfcheck(loadgen.SelfcheckConfig{
+			Duration:    *duration,
+			Trials:      *trials,
+			Concurrency: *conc,
+			Rows:        *scRows,
+			Seed:        *seed,
+		}, runtime.GOMAXPROCS(0), logf)
+		if err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			raw, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			logf("wrote %s", *out)
+		}
+		if *baseline != "" {
+			base, err := loadgen.LoadReport(*baseline)
+			if err != nil {
+				fatal(err)
+			}
+			if bad := loadgen.Compare(report, base, *tolerance, *minSpeed); len(bad) > 0 {
+				for _, b := range bad {
+					fmt.Fprintln(os.Stderr, "loadgen: FAIL:", b)
+				}
+				os.Exit(1)
+			}
+			logf("within %.0f%% of baseline, speedup %.2fx >= %.1fx", *tolerance*100, report.Speedup, *minSpeed)
+		}
+		if *out == "" && *baseline == "" {
+			emit(report)
+		}
+		return
+	}
+
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: need -addr (live mode) or -selfcheck; see -h")
+		os.Exit(2)
+	}
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL:     *addr,
+		Duration:    *duration,
+		Concurrency: *conc,
+		QPS:         *qps,
+		Rows:        *rows,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	emit(res)
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// emit prints a report as indented JSON on stdout.
+func emit(v interface{}) {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(raw))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

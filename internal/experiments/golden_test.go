@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden refreshes results/golden/pr4.json instead of comparing:
+//
+//	go test ./internal/experiments -run TestGoldenPipeline -update-golden
+//
+// Review the diff before committing — every change to the data
+// generator, feature extractors, preprocessing, models, or query
+// strategies shows up here, and that is the point.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden pipeline fixture")
+
+// goldenDoc is the committed fixture: the exact query trajectories of a
+// fixed-seed tiny-scale run of the full pipeline (synthetic telemetry ->
+// feature extraction -> preprocessing -> active-learning curves).
+type goldenDoc struct {
+	Description string        `json:"description"`
+	Seed        int64         `json:"seed"`
+	Curves      []goldenCurve `json:"curves"`
+}
+
+type goldenCurve struct {
+	Method string        `json:"method"`
+	Points []goldenPoint `json:"points"`
+}
+
+type goldenPoint struct {
+	Queried     int     `json:"queried"`
+	F1          float64 `json:"f1"`
+	FalseAlarm  float64 `json:"false_alarm"`
+	AnomalyMiss float64 `json:"anomaly_miss"`
+}
+
+// goldenConfig pins every knob of the run. Workers=1 keeps the result
+// independent of GOMAXPROCS.
+func goldenConfig() Config {
+	cfg := Default("volta", Tiny)
+	cfg.Extractor = "mvts"
+	cfg.Seed = 424242
+	cfg.Splits = 2
+	cfg.MaxQueries = 12
+	cfg.EvalEvery = 2
+	cfg.Workers = 1
+	return cfg
+}
+
+func goldenPath(t *testing.T) string {
+	t.Helper()
+	// The test runs with CWD internal/experiments; the fixture lives at
+	// the repo root's results/golden.
+	return filepath.Join("..", "..", "results", "golden", "pr4.json")
+}
+
+func buildGolden(t *testing.T) *goldenDoc {
+	t.Helper()
+	cfg := goldenConfig()
+	r, err := RunCurves(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := &goldenDoc{
+		Description: "Fixed-seed tiny-scale pipeline fixture: datagen -> mvts features -> preprocess -> AL curves. Refresh with: go test ./internal/experiments -run TestGoldenPipeline -update-golden",
+		Seed:        cfg.Seed,
+	}
+	for _, c := range r.Curves {
+		gc := goldenCurve{Method: c.Method}
+		for _, p := range c.Points {
+			gc.Points = append(gc.Points, goldenPoint{
+				Queried:     p.Queried,
+				F1:          p.F1,
+				FalseAlarm:  p.FalseAlarm,
+				AnomalyMiss: p.AnomalyMiss,
+			})
+		}
+		doc.Curves = append(doc.Curves, gc)
+	}
+	return doc
+}
+
+// TestGoldenPipeline runs the full pipeline end to end under a fixed
+// seed and requires the result to match results/golden/pr4.json
+// EXACTLY (bitwise float equality — JSON round-trips float64 losslessly).
+// Any drift in the generator, extractors, preprocessing, model training
+// or query strategies fails with a per-point diff. If the change is
+// intentional, refresh the fixture with -update-golden and commit the
+// diff.
+func TestGoldenPipeline(t *testing.T) {
+	got := buildGolden(t)
+	path := goldenPath(t)
+
+	if *updateGolden {
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update-golden to create): %v", err)
+	}
+	var want goldenDoc
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+
+	if got.Seed != want.Seed {
+		t.Fatalf("seed drifted: run %d, fixture %d", got.Seed, want.Seed)
+	}
+	if len(got.Curves) != len(want.Curves) {
+		t.Fatalf("curve count drifted: run has %d methods, fixture %d", len(got.Curves), len(want.Curves))
+	}
+	var diffs []string
+	for i, wc := range want.Curves {
+		gc := got.Curves[i]
+		if gc.Method != wc.Method {
+			t.Fatalf("method order drifted at %d: run %q, fixture %q", i, gc.Method, wc.Method)
+		}
+		if len(gc.Points) != len(wc.Points) {
+			diffs = append(diffs, fmt.Sprintf("%s: %d points, fixture %d", wc.Method, len(gc.Points), len(wc.Points)))
+			continue
+		}
+		for k, wp := range wc.Points {
+			gp := gc.Points[k]
+			if gp != wp {
+				diffs = append(diffs, fmt.Sprintf(
+					"%s @%d queries: f1 %v (fixture %v, Δ%+.2e), far %v (fixture %v), amr %v (fixture %v)",
+					wc.Method, wp.Queried,
+					gp.F1, wp.F1, gp.F1-wp.F1,
+					gp.FalseAlarm, wp.FalseAlarm,
+					gp.AnomalyMiss, wp.AnomalyMiss))
+			}
+		}
+	}
+	if len(diffs) > 0 {
+		max := len(diffs)
+		if max > 20 {
+			diffs = append(diffs[:20], fmt.Sprintf("... and %d more", max-20))
+		}
+		t.Fatalf("pipeline output drifted from results/golden/pr4.json (%d diffs).\nIf intentional, refresh with -update-golden and commit the new fixture.\n%s",
+			max, joinLines(diffs))
+	}
+}
+
+// TestGoldenPipelineDeterministic guards the guard: two consecutive
+// in-process runs must agree bitwise, otherwise the golden comparison
+// would flake instead of catching drift.
+func TestGoldenPipelineDeterministic(t *testing.T) {
+	a := buildGolden(t)
+	b := buildGolden(t)
+	for i := range a.Curves {
+		for k := range a.Curves[i].Points {
+			pa, pb := a.Curves[i].Points[k], b.Curves[i].Points[k]
+			if pa != pb {
+				t.Fatalf("%s @%d: run A %+v, run B %+v — pipeline is nondeterministic under a fixed seed",
+					a.Curves[i].Method, pa.Queried, pa, pb)
+			}
+			if math.IsNaN(pa.F1) {
+				t.Fatalf("%s @%d: NaN F1 in golden run", a.Curves[i].Method, pa.Queried)
+			}
+		}
+	}
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for _, l := range lines {
+		out += "  " + l + "\n"
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package tsfresh
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// featIdx maps feature names to their position in Extract's output.
+func featIdx(t testing.TB) map[string]int {
+	t.Helper()
+	idx := map[string]int{}
+	for i, n := range (Extractor{}).FeatureNames() {
+		idx[n] = i
+	}
+	return idx
+}
+
+// randSeries draws one random test series; the generator varies length
+// and scale so properties are checked across regimes.
+func randSeries(rng *rand.Rand) []float64 {
+	n := 16 + rng.Intn(240)
+	scale := math.Pow(10, float64(rng.Intn(5)-2))
+	s := make([]float64, n)
+	level := rng.NormFloat64() * scale
+	for i := range s {
+		level += rng.NormFloat64() * scale * 0.3
+		s[i] = level
+	}
+	return s
+}
+
+// naiveAutocorr is the textbook definition: sum of lagged products of
+// centered values over the variance mass.
+func naiveAutocorr(s []float64, lag int) float64 {
+	n := len(s)
+	if lag >= n {
+		return math.NaN()
+	}
+	mean := 0.0
+	for _, v := range s {
+		mean += v
+	}
+	mean /= float64(n)
+	num, den := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		den += (s[i] - mean) * (s[i] - mean)
+	}
+	for i := 0; i < n-lag; i++ {
+		num += (s[i] - mean) * (s[i+lag] - mean)
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// naiveQuantile is the sort-based linear-interpolation quantile.
+func naiveQuantile(s []float64, q float64) float64 {
+	c := append([]float64{}, s...)
+	sort.Float64s(c)
+	pos := q * float64(len(c)-1)
+	lo := int(pos)
+	if lo+1 >= len(c) {
+		return c[len(c)-1]
+	}
+	frac := pos - float64(lo)
+	return c[lo] + frac*(c[lo+1]-c[lo])
+}
+
+// naiveCidCe is sqrt of the summed squared first differences.
+func naiveCidCe(s []float64) float64 {
+	sum := 0.0
+	for i := 1; i < len(s); i++ {
+		d := s[i] - s[i-1]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// naiveC3 is tsfresh's lag-l non-linearity statistic:
+// mean of x[i+2l]*x[i+l]*x[i].
+func naiveC3(s []float64, lag int) float64 {
+	n := len(s) - 2*lag
+	if n <= 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s[i+2*lag] * s[i+lag] * s[i]
+	}
+	return sum / float64(n)
+}
+
+// relErr compares with a tolerance that scales with magnitude.
+func relErr(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m < 1e-9 {
+		return d
+	}
+	return d / m
+}
+
+// TestOptimizedMatchesNaiveReferences cross-checks the production
+// implementations against independent textbook versions on random
+// series.
+func TestOptimizedMatchesNaiveReferences(t *testing.T) {
+	idx := featIdx(t)
+	e := Extractor{}
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 50; trial++ {
+		s := randSeries(rng)
+		out := e.Extract(s)
+		for _, lag := range []int{1, 2, 5, 10} {
+			want := naiveAutocorr(s, lag)
+			got := out[idx[nameOf(t, idx, "autocorr_lag", lag)]]
+			if !agreeOrBothNaN(got, want, 1e-9) {
+				t.Fatalf("trial %d: autocorr_lag%d = %v, naive %v (n=%d)", trial, lag, got, want, len(s))
+			}
+		}
+		for _, q := range []int{1, 3, 5, 7, 9} {
+			want := naiveQuantile(s, float64(q)/10)
+			got := out[idx[nameOf(t, idx, "quantile_q", q)]]
+			if !agreeOrBothNaN(got, want, 1e-9) {
+				t.Fatalf("trial %d: quantile_q%d0 = %v, naive %v", trial, q, got, want)
+			}
+		}
+		if got, want := out[idx["cid_ce_raw"]], naiveCidCe(s); !agreeOrBothNaN(got, want, 1e-9) {
+			t.Fatalf("trial %d: cid_ce_raw = %v, naive %v", trial, got, want)
+		}
+		for _, lag := range []int{1, 2, 3} {
+			want := naiveC3(s, lag)
+			got := out[idx[nameOf(t, idx, "c3_lag", lag)]]
+			if !agreeOrBothNaN(got, want, 1e-9) {
+				t.Fatalf("trial %d: c3_lag%d = %v, naive %v", trial, lag, got, want)
+			}
+		}
+	}
+}
+
+// nameOf formats an indexed feature name and asserts it exists.
+func nameOf(t testing.TB, idx map[string]int, prefix string, k int) string {
+	t.Helper()
+	name := prefix
+	if prefix == "quantile_q" {
+		name = prefix + string(rune('0'+k)) + "0"
+	} else {
+		name = prefix + itoa(k)
+	}
+	if _, ok := idx[name]; !ok {
+		t.Fatalf("no feature named %q", name)
+	}
+	return name
+}
+
+func itoa(k int) string {
+	if k >= 10 {
+		return string(rune('0'+k/10)) + string(rune('0'+k%10))
+	}
+	return string(rune('0' + k))
+}
+
+func agreeOrBothNaN(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return relErr(a, b) <= tol
+}
+
+// TestShiftInvariance: features of centered statistics (autocorrelation,
+// cid_ce, crossings of own quantiles, zero-ish measures on diffs) must
+// not move under a constant level shift.
+func TestShiftInvariance(t *testing.T) {
+	idx := featIdx(t)
+	e := Extractor{}
+	rng := rand.New(rand.NewSource(202))
+	invariant := []string{
+		"autocorr_lag1", "autocorr_lag5", "cid_ce_raw",
+		"crossings_q25", "crossings_q75",
+		"num_peaks_1", "num_peaks_5",
+		"last_loc_max_ratio", "last_loc_min_ratio",
+	}
+	for trial := 0; trial < 25; trial++ {
+		s := randSeries(rng)
+		shift := 10 + rng.Float64()*100
+		shifted := make([]float64, len(s))
+		for i := range s {
+			shifted[i] = s[i] + shift
+		}
+		a, b := e.Extract(s), e.Extract(shifted)
+		for _, name := range invariant {
+			if !agreeOrBothNaN(a[idx[name]], b[idx[name]], 1e-6) {
+				t.Fatalf("trial %d: %s moved under +%.1f shift: %v -> %v",
+					trial, name, shift, a[idx[name]], b[idx[name]])
+			}
+		}
+	}
+}
+
+// TestScaleEquivariance: positively-scaled input must scale quantiles
+// and cid_ce linearly and leave scale-free shape statistics
+// (autocorrelation, ratio-type features) untouched.
+func TestScaleEquivariance(t *testing.T) {
+	idx := featIdx(t)
+	e := Extractor{}
+	rng := rand.New(rand.NewSource(303))
+	scaleFree := []string{
+		"autocorr_lag1", "autocorr_lag3", "autocorr_lag10",
+		"last_loc_max_ratio", "last_loc_min_ratio",
+		"num_peaks_1", "crossings_q25",
+	}
+	linear := []string{"quantile_q10", "quantile_q50", "quantile_q90", "cid_ce_raw"}
+	for trial := 0; trial < 25; trial++ {
+		s := randSeries(rng)
+		k := 0.5 + rng.Float64()*9.5
+		scaled := make([]float64, len(s))
+		for i := range s {
+			scaled[i] = s[i] * k
+		}
+		a, b := e.Extract(s), e.Extract(scaled)
+		for _, name := range scaleFree {
+			if !agreeOrBothNaN(a[idx[name]], b[idx[name]], 1e-6) {
+				t.Fatalf("trial %d: %s moved under x%.2f scale: %v -> %v",
+					trial, name, k, a[idx[name]], b[idx[name]])
+			}
+		}
+		for _, name := range linear {
+			if !agreeOrBothNaN(a[idx[name]]*k, b[idx[name]], 1e-6) {
+				t.Fatalf("trial %d: %s not linear under x%.2f: %v*k != %v",
+					trial, name, k, a[idx[name]], b[idx[name]])
+			}
+		}
+	}
+}
+
+// TestFiniteOnFiniteInput: on fully finite input every extracted value
+// is finite or NaN (the documented "undefined" marker) — never ±Inf,
+// and after Sanitize-style replacement the vector is model-safe.
+func TestFiniteOnFiniteInput(t *testing.T) {
+	e := Extractor{}
+	names := e.FeatureNames()
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 40; trial++ {
+		s := randSeries(rng)
+		for i, v := range e.Extract(s) {
+			if math.IsInf(v, 0) {
+				t.Fatalf("trial %d: feature %s is %v on finite input", trial, names[i], v)
+			}
+		}
+	}
+}
+
+// TestDegenerateInputs: empty, single-sample, and constant series must
+// produce full-length vectors of finite-or-NaN values without panicking.
+func TestDegenerateInputs(t *testing.T) {
+	e := Extractor{}
+	names := e.FeatureNames()
+	cases := map[string][]float64{
+		"empty":          {},
+		"single":         {3.7},
+		"pair":           {1, 1},
+		"constant":       {5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5},
+		"constant_zero":  make([]float64, 64),
+		"all_nan":        {math.NaN(), math.NaN(), math.NaN(), math.NaN()},
+		"tiny_magnitude": {1e-300, 2e-300, 1e-300, 3e-300, 1e-300, 2e-300, 1e-300, 2e-300},
+		"huge_magnitude": {1e150, 2e150, -1e150, 3e150, 1e150, -2e150, 2e150, 1e150},
+	}
+	for name, s := range cases {
+		out := e.Extract(s)
+		if len(out) != len(names) {
+			t.Fatalf("%s: %d features, want %d", name, len(out), len(names))
+		}
+		for i, v := range out {
+			if math.IsInf(v, 0) {
+				t.Fatalf("%s: feature %s = %v", name, names[i], v)
+			}
+		}
+	}
+	// A constant series has zero variance: autocorrelation is undefined
+	// (NaN), not garbage.
+	idx := featIdx(t)
+	out := e.Extract(cases["constant"])
+	if v := out[idx["autocorr_lag1"]]; !math.IsNaN(v) && v != 0 {
+		t.Fatalf("constant series autocorr_lag1 = %v, want NaN or 0", v)
+	}
+	if v := out[idx["quantile_q50"]]; v != 5 {
+		t.Fatalf("constant series quantile_q50 = %v, want 5", v)
+	}
+}

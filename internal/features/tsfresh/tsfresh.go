@@ -303,5 +303,15 @@ func (e Extractor) Extract(s []float64) []float64 {
 	)
 	// symmetry_looking: |mean - median| < 0.05 * range.
 	out = append(out, b2f(math.Abs(stats.Mean(s)-med) < 0.05*stats.Range(s)))
+
+	// Overflow guard: products of extreme magnitudes (c3's cubes, energy
+	// sums) can overflow float64 even on finite input. The extractor's
+	// contract is finite-or-NaN — an infinity is an undefined feature,
+	// not a value.
+	for i, v := range out {
+		if math.IsInf(v, 0) {
+			out[i] = math.NaN()
+		}
+	}
 	return out
 }

@@ -1,0 +1,128 @@
+package ml
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// rowEcho is a minimal Classifier without a native batch path, used to
+// exercise the ProbaBatchParallel fallback.
+type rowEcho struct{ calls atomic.Int64 }
+
+func (r *rowEcho) Fit(x [][]float64, y []int, nClasses int) error { return nil }
+func (r *rowEcho) NumClasses() int                                { return 2 }
+func (r *rowEcho) PredictProba(x []float64) []float64 {
+	r.calls.Add(1)
+	return []float64{x[0], 1 - x[0]}
+}
+
+// batchEcho additionally implements BatchPredictor; the batch path
+// marks its rows so the test can tell which path ran.
+type batchEcho struct{ rowEcho }
+
+func (b *batchEcho) PredictProbaBatch(x [][]float64) [][]float64 {
+	out := ProbaMatrix(len(x), 2)
+	for i, row := range x {
+		out[i][0] = row[0] + 100
+		out[i][1] = 1 - row[0]
+	}
+	return out
+}
+
+func TestParallelRowsCoversEveryRowOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7} {
+		for _, n := range []int{0, 1, 2, 5, 16, 33} {
+			seen := make([]int32, n)
+			ParallelRows(n, workers, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: row %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestProbaMatrixShapeAndIsolation(t *testing.T) {
+	m := ProbaMatrix(3, 4)
+	if len(m) != 3 {
+		t.Fatalf("rows = %d, want 3", len(m))
+	}
+	for i, row := range m {
+		if len(row) != 4 || cap(row) != 4 {
+			t.Fatalf("row %d: len=%d cap=%d, want 4/4", i, len(row), cap(row))
+		}
+	}
+	// Full-capacity slicing: appending to one row must not bleed into
+	// the next row's backing.
+	r0 := append(m[0], 9)
+	if m[1][0] == 9 {
+		t.Fatal("append to row 0 overwrote row 1")
+	}
+	_ = r0
+	if got := ProbaMatrix(0, 4); len(got) != 0 {
+		t.Fatalf("empty matrix has %d rows", len(got))
+	}
+}
+
+func TestProbaBatchParallelFallbackMatchesSerial(t *testing.T) {
+	x := [][]float64{{0.1}, {0.4}, {0.9}, {0.25}, {0.6}}
+	c := &rowEcho{}
+	want := ProbaBatch(c, x)
+	for _, workers := range []int{0, 1, 2, 4} {
+		got := ProbaBatchParallel(c, x, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d rows, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d row %d: %v != %v", workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestProbaBatchParallelPrefersNativeBatch(t *testing.T) {
+	x := [][]float64{{0.1}, {0.2}}
+	b := &batchEcho{}
+	got := ProbaBatchParallel(b, x, 4)
+	if b.calls.Load() != 0 {
+		t.Fatalf("native batch available but PredictProba was called %d times", b.calls.Load())
+	}
+	if got[0][0] != 100.1 || got[1][0] != 100.2 {
+		t.Fatalf("batch path not taken: %v", got)
+	}
+}
+
+func TestPredictBatchUsesArgmax(t *testing.T) {
+	c := &rowEcho{}
+	got := PredictBatch(c, [][]float64{{0.9}, {0.1}})
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("PredictBatch = %v, want [0 1]", got)
+	}
+}
+
+func TestSoftmaxIntoProvidedBuffer(t *testing.T) {
+	out := make([]float64, 3)
+	got := Softmax([]float64{1, 2, 3}, out)
+	if &got[0] != &out[0] {
+		t.Fatal("Softmax did not reuse the provided buffer")
+	}
+	sum := 0.0
+	for _, v := range got {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("softmax sums to %v", sum)
+	}
+}

@@ -185,9 +185,19 @@ func (f *Forest) PredictProba(x []float64) []float64 {
 	start := time.Now()
 	defer func() { ml.ObservePredict("forest", time.Since(start)) }()
 	acc := make([]float64, f.NClasses)
+	f.accumulate(x, acc)
+	return acc
+}
+
+// accumulate soft-votes every tree into acc (len NClasses, zeroed by
+// the caller). It allocates nothing: each tree walk lands on the leaf's
+// internal distribution via LeafProbs.
+func (f *Forest) accumulate(x []float64, acc []float64) {
+	if len(f.Trees) == 0 {
+		return
+	}
 	for _, tr := range f.Trees {
-		p := tr.PredictProba(x)
-		for c, v := range p {
+		for c, v := range tr.LeafProbs(x) {
 			acc[c] += v
 		}
 	}
@@ -195,5 +205,25 @@ func (f *Forest) PredictProba(x []float64) []float64 {
 	for c := range acc {
 		acc[c] *= inv
 	}
-	return acc
+}
+
+// PredictProbaBatch classifies many rows in one pass (ml.BatchPredictor):
+// rows are sharded into contiguous chunks across Cfg.Workers goroutines
+// (GOMAXPROCS when unset) and each worker soft-votes its rows with zero
+// per-tree allocations, so a batch costs two allocations total instead
+// of the serial path's one-per-tree-per-row. Output rows are identical
+// to per-row PredictProba regardless of the worker count.
+func (f *Forest) PredictProbaBatch(x [][]float64) [][]float64 {
+	if len(f.Trees) == 0 {
+		panic("forest: PredictProbaBatch before Fit")
+	}
+	start := time.Now()
+	defer func() { ml.ObservePredictBatch("forest", time.Since(start), len(x)) }()
+	out := ml.ProbaMatrix(len(x), f.NClasses)
+	ml.ParallelRows(len(x), f.Cfg.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f.accumulate(x[i], out[i])
+		}
+	})
+	return out
 }

@@ -195,8 +195,17 @@ func (m *Model) PredictProba(x []float64) []float64 {
 	}
 	start := time.Now()
 	defer func() { ml.ObservePredict("gbm", time.Since(start)) }()
-	logits := append([]float64{}, m.Prior...)
+	logits := make([]float64, len(m.Prior))
 	buf := make([]float64, 0, 8)
+	m.logitsInto(x, logits, buf)
+	return ml.Softmax(logits, nil)
+}
+
+// logitsInto accumulates the boosted logits of one sample into logits
+// (len NClasses), reusing buf as the column-projection scratch. It
+// allocates nothing.
+func (m *Model) logitsInto(x []float64, logits, buf []float64) {
+	copy(logits, m.Prior)
 	for _, round := range m.Trees {
 		for c, tc := range round {
 			xin := x
@@ -210,5 +219,28 @@ func (m *Model) PredictProba(x []float64) []float64 {
 			logits[c] += m.Cfg.LearningRate * tc.Tree.Predict(xin)
 		}
 	}
-	return ml.Softmax(logits, nil)
+}
+
+// PredictProbaBatch classifies many rows in one pass (ml.BatchPredictor):
+// rows are sharded into contiguous chunks across runtime.NumCPU()
+// workers, each reusing one logits and one column-projection scratch
+// buffer for its whole chunk, with the softmax written straight into
+// the shared output backing. Output rows are identical to per-row
+// PredictProba regardless of the worker count.
+func (m *Model) PredictProbaBatch(x [][]float64) [][]float64 {
+	if len(m.Trees) == 0 && m.Prior == nil {
+		panic("gbm: PredictProbaBatch before Fit")
+	}
+	start := time.Now()
+	defer func() { ml.ObservePredictBatch("gbm", time.Since(start), len(x)) }()
+	out := ml.ProbaMatrix(len(x), m.NClasses)
+	ml.ParallelRows(len(x), 0, func(lo, hi int) {
+		logits := make([]float64, len(m.Prior))
+		buf := make([]float64, 0, 16)
+		for i := lo; i < hi; i++ {
+			m.logitsInto(x[i], logits, buf)
+			ml.Softmax(logits, out[i])
+		}
+	})
+	return out
 }

@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // Classifier is a multiclass probabilistic classifier.
@@ -48,18 +50,97 @@ func Predict(c Classifier, x []float64) int {
 
 // PredictBatch returns the most likely class per row.
 func PredictBatch(c Classifier, x [][]float64) []int {
+	probs := ProbaBatchParallel(c, x, 0)
 	out := make([]int, len(x))
-	for i, row := range x {
-		out[i] = Predict(c, row)
+	for i, p := range probs {
+		out[i] = Argmax(p)
 	}
 	return out
 }
 
-// ProbaBatch returns the probability matrix for many rows.
+// ProbaBatch returns the probability matrix for many rows, one
+// PredictProba call per row. It is the serial reference path; the
+// serving stack uses ProbaBatchParallel.
 func ProbaBatch(c Classifier, x [][]float64) [][]float64 {
 	out := make([][]float64, len(x))
 	for i, row := range x {
 		out[i] = c.PredictProba(row)
+	}
+	return out
+}
+
+// BatchPredictor is implemented by classifiers with a native batch
+// inference path (tree, forest, gbm). PredictProbaBatch must return
+// exactly one NumClasses-length probability row per input row, equal to
+// what per-row PredictProba calls would produce.
+type BatchPredictor interface {
+	// PredictProbaBatch classifies many rows in one pass.
+	PredictProbaBatch(x [][]float64) [][]float64
+}
+
+// ProbaBatchParallel returns the probability matrix for many rows using
+// the fastest available path: the model's native PredictProbaBatch when
+// it implements BatchPredictor, and otherwise PredictProba fanned out
+// across workers goroutines (workers <= 0 uses runtime.NumCPU()). Row
+// order is preserved and the result is deterministic regardless of the
+// worker count.
+func ProbaBatchParallel(c Classifier, x [][]float64, workers int) [][]float64 {
+	if bp, ok := c.(BatchPredictor); ok {
+		return bp.PredictProbaBatch(x)
+	}
+	out := make([][]float64, len(x))
+	ParallelRows(len(x), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = c.PredictProba(x[i])
+		}
+	})
+	return out
+}
+
+// ParallelRows partitions [0, n) into contiguous chunks and runs fn on
+// each chunk from its own goroutine, blocking until every chunk is
+// done. workers <= 0 uses runtime.NumCPU(); a single worker (or n <= 1)
+// runs fn inline with no goroutine overhead. Chunks are disjoint, so fn
+// may write to per-row slots of a shared slice without synchronization.
+func ParallelRows(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ProbaMatrix allocates an n-row, k-column probability matrix backed by
+// one contiguous allocation — the shape every PredictProbaBatch returns.
+// Sharing the backing array keeps a large batch to two allocations
+// instead of n+1.
+func ProbaMatrix(n, k int) [][]float64 {
+	flat := make([]float64, n*k)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = flat[i*k : (i+1)*k : (i+1)*k]
 	}
 	return out
 }

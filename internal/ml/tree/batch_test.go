@@ -1,0 +1,71 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func fitSmallTree(t testing.TB) (*Classifier, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	n, d, k := 200, 8, 3
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		y[i] = i % k
+		x[i] = make([]float64, d)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+		x[i][y[i]] += 2
+	}
+	tr := NewClassifier(Config{MaxDepth: 6, Seed: 4})
+	if err := tr.Fit(x, y, k); err != nil {
+		t.Fatal(err)
+	}
+	return tr, x
+}
+
+func TestLeafProbsAliasesPredictProba(t *testing.T) {
+	tr, x := fitSmallTree(t)
+	for i, row := range x {
+		leaf := tr.LeafProbs(row)
+		pred := tr.PredictProba(row)
+		if len(leaf) != len(pred) {
+			t.Fatalf("row %d: leaf len %d, predict len %d", i, len(leaf), len(pred))
+		}
+		for c := range leaf {
+			if leaf[c] != pred[c] {
+				t.Fatalf("row %d class %d: leaf %v predict %v", i, c, leaf, pred)
+			}
+		}
+	}
+	// PredictProba must return a copy: mutating it cannot corrupt the tree.
+	p := tr.PredictProba(x[0])
+	p[0] = -1
+	if tr.LeafProbs(x[0])[0] == -1 {
+		t.Fatal("PredictProba returned the leaf's internal slice")
+	}
+}
+
+func TestTreePredictProbaBatchMatchesSerial(t *testing.T) {
+	tr, x := fitSmallTree(t)
+	got := tr.PredictProbaBatch(x)
+	for i, row := range x {
+		want := tr.PredictProba(row)
+		for c := range want {
+			if got[i][c] != want[c] {
+				t.Fatalf("row %d: batch %v serial %v", i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestTreeBatchBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PredictProbaBatch before Fit did not panic")
+		}
+	}()
+	NewClassifier(Config{}).PredictProbaBatch([][]float64{{1}})
+}

@@ -10,6 +10,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"albadross/internal/ml"
 )
 
 // Criterion selects the impurity measure of the classification tree.
@@ -282,8 +284,19 @@ func (b *clsBuilder) bestSplit(idx []int, parentCounts []float64, total float64)
 
 // PredictProba walks the tree and returns the leaf class distribution.
 func (t *Classifier) PredictProba(x []float64) []float64 {
+	out := make([]float64, t.NClasses)
+	copy(out, t.LeafProbs(x))
+	return out
+}
+
+// LeafProbs walks the tree and returns the reached leaf's class
+// distribution by reference — no copy, no allocation. Callers must
+// treat the result as read-only; it aliases the fitted tree. The batch
+// paths (forest soft-voting, PredictProbaBatch) are built on it so one
+// inference costs one tree walk and nothing else.
+func (t *Classifier) LeafProbs(x []float64) []float64 {
 	if len(t.Nodes) == 0 {
-		panic("tree: PredictProba before Fit")
+		panic("tree: LeafProbs before Fit")
 	}
 	n := &t.Nodes[0]
 	for n.Feature >= 0 {
@@ -293,8 +306,23 @@ func (t *Classifier) PredictProba(x []float64) []float64 {
 			n = &t.Nodes[n.Right]
 		}
 	}
-	out := make([]float64, len(n.Probs))
-	copy(out, n.Probs)
+	return n.Probs
+}
+
+// PredictProbaBatch classifies many rows in one pass (ml.BatchPredictor).
+// The result shares one contiguous backing allocation; rows are written
+// by parallel workers over disjoint chunks, so the output is identical
+// to per-row PredictProba regardless of worker count.
+func (t *Classifier) PredictProbaBatch(x [][]float64) [][]float64 {
+	if len(t.Nodes) == 0 {
+		panic("tree: PredictProbaBatch before Fit")
+	}
+	out := ml.ProbaMatrix(len(x), t.NClasses)
+	ml.ParallelRows(len(x), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out[i], t.LeafProbs(x[i]))
+		}
+	})
 	return out
 }
 

@@ -1,0 +1,372 @@
+// The request-batching layer of the diagnosis hot path: concurrent
+// /api/diagnose calls are coalesced into single ExtractBatch +
+// PredictProbaBatch passes against one atomically loaded model
+// snapshot. Batching is adaptive — a pass starts as soon as the
+// previous one finishes and carries whatever queued meanwhile — so an
+// idle server adds no latency while a loaded one amortizes feature
+// extraction, inference dispatch and allocations across the whole
+// batch. Config.BatchMaxWait optionally holds a forming batch for
+// stragglers; Config.BatchMaxSize caps the rows one pass may carry.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"albadross/internal/features"
+	"albadross/internal/ml"
+	"albadross/internal/obs"
+	"albadross/internal/telemetry"
+	"albadross/internal/ts"
+)
+
+// job is one HTTP request's inference work: either model-space feature
+// rows, raw telemetry windows to extract first, or both resolved from
+// one DiagnoseRequest.
+type job struct {
+	rows     [][]float64        // model-space vectors (nil for window jobs)
+	blocks   []*ts.Multivariate // raw windows awaiting extraction
+	out      chan jobResult
+	enqueued time.Time
+}
+
+// jobResult carries one job's probability rows and the snapshot that
+// produced them (so responses can report a consistent model version),
+// or the per-job error.
+type jobResult struct {
+	probs [][]float64
+	snap  *snapshot
+	err   error
+}
+
+// jobPool recycles job structs (each carries a 1-buffered result
+// channel) across requests.
+var jobPool = sync.Pool{
+	New: func() interface{} { return &job{out: make(chan jobResult, 1)} },
+}
+
+// newJob validates a decoded DiagnoseRequest and resolves it into a
+// job. Exactly one of Features, Batch, Windows must be set; windows are
+// parsed into multivariate blocks here (cheap) while repair, extraction
+// and transformation run later inside the coalesced pass.
+func (s *Server) newJob(req *DiagnoseRequest) (*job, error) {
+	set := 0
+	if req.Features != nil {
+		set++
+	}
+	if req.Batch != nil {
+		set++
+	}
+	if req.Windows != nil {
+		set++
+	}
+	if set != 1 {
+		return nil, errors.New("exactly one of features, batch, windows must be set")
+	}
+	j := jobPool.Get().(*job)
+	j.rows, j.blocks = j.rows[:0], j.blocks[:0]
+	j.enqueued = time.Now()
+	switch {
+	case req.Features != nil:
+		j.rows = append(j.rows, req.Features)
+	case req.Batch != nil:
+		if len(req.Batch) == 0 {
+			jobPool.Put(j)
+			return nil, errors.New("empty batch")
+		}
+		if len(req.Batch) > s.cfg.BatchMaxSize && s.cfg.BatchMaxSize > 1 {
+			jobPool.Put(j)
+			return nil, fmt.Errorf("batch of %d exceeds the server's max batch size %d",
+				len(req.Batch), s.cfg.BatchMaxSize)
+		}
+		j.rows = append(j.rows, req.Batch...)
+	default:
+		if s.cfg.Schema == nil {
+			jobPool.Put(j)
+			return nil, errors.New("this server does not accept raw windows (no telemetry schema configured)")
+		}
+		if len(req.Windows) == 0 {
+			jobPool.Put(j)
+			return nil, errors.New("empty windows")
+		}
+		for wi, win := range req.Windows {
+			block, err := windowBlock(win, s.cfg.Schema)
+			if err != nil {
+				jobPool.Put(j)
+				return nil, fmt.Errorf("window %d: %w", wi, err)
+			}
+			j.blocks = append(j.blocks, block)
+		}
+	}
+	return j, nil
+}
+
+// windowBlock converts one metric-major window into a multivariate
+// block, validating its shape against the schema.
+func windowBlock(win [][]float64, schema []telemetry.Metric) (*ts.Multivariate, error) {
+	if len(win) != len(schema) {
+		return nil, fmt.Errorf("has %d metrics, schema %d", len(win), len(schema))
+	}
+	steps := len(win[0])
+	if steps < 2 {
+		return nil, fmt.Errorf("series too short (%d steps, need >= 2)", steps)
+	}
+	for m, series := range win {
+		if len(series) != steps {
+			return nil, fmt.Errorf("metric %d has %d steps, metric 0 has %d", m, len(series), steps)
+		}
+	}
+	block := &ts.Multivariate{Metrics: make([]ts.Series, len(win))}
+	for m, series := range win {
+		block.Metrics[m] = append(ts.Series{}, series...)
+	}
+	return block, nil
+}
+
+// batcher coalesces jobs. One collector goroutine alternates between
+// gathering queued jobs and processing them; handlers block on their
+// job's result channel, so backpressure is the channel buffer.
+type batcher struct {
+	s       *Server
+	jobs    chan *job
+	maxSize int
+	maxWait time.Duration
+
+	closeMu sync.RWMutex // guards closed vs in-flight enqueues
+	closed  bool
+	done    chan struct{}
+}
+
+// newBatcher starts the collector goroutine.
+func newBatcher(s *Server, maxSize int, maxWait time.Duration) *batcher {
+	b := &batcher{
+		s:       s,
+		jobs:    make(chan *job, 4*maxSize),
+		maxSize: maxSize,
+		maxWait: maxWait,
+		done:    make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// enqueue hands a job to the collector. It returns false after close,
+// telling the caller to run the job inline instead. The channel send
+// happens under the read lock, so close() — which takes the write lock
+// before closing the channel — can never race a send.
+func (b *batcher) enqueue(j *job) bool {
+	b.closeMu.RLock()
+	defer b.closeMu.RUnlock()
+	if b.closed {
+		return false
+	}
+	b.jobs <- j
+	batchQueueDepth.Set(float64(len(b.jobs)))
+	return true
+}
+
+// close stops the collector after it drains every queued job.
+func (b *batcher) close() {
+	b.closeMu.Lock()
+	if b.closed {
+		b.closeMu.Unlock()
+		return
+	}
+	b.closed = true
+	close(b.jobs)
+	b.closeMu.Unlock()
+	<-b.done
+}
+
+// run is the collector loop: block for the first job, greedily drain
+// whatever else is queued (optionally holding maxWait for stragglers),
+// then process the whole batch in one pass.
+func (b *batcher) run() {
+	defer close(b.done)
+	for {
+		first, ok := <-b.jobs
+		if !ok {
+			return
+		}
+		batch := []*job{first}
+		n := len(first.rows) + len(first.blocks)
+		// Greedy drain: everything already queued joins this pass.
+	gather:
+		for n < b.maxSize {
+			select {
+			case j, ok := <-b.jobs:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, j)
+				n += len(j.rows) + len(j.blocks)
+			default:
+				break gather
+			}
+		}
+		// Optional hold for stragglers.
+		if b.maxWait > 0 && n < b.maxSize {
+			timer := time.NewTimer(b.maxWait)
+		hold:
+			for n < b.maxSize {
+				select {
+				case j, ok := <-b.jobs:
+					if !ok {
+						break hold
+					}
+					batch = append(batch, j)
+					n += len(j.rows) + len(j.blocks)
+				case <-timer.C:
+					break hold
+				}
+			}
+			timer.Stop()
+		}
+		batchQueueDepth.Set(float64(len(b.jobs)))
+		b.s.process(batch) // results are delivered on each job's channel
+	}
+}
+
+// rowsPool recycles the per-pass row-assembly slices.
+var rowsPool = sync.Pool{
+	New: func() interface{} { return make([][]float64, 0, 256) },
+}
+
+// process runs one coalesced pass over a batch of jobs: extract raw
+// windows (one ExtractBatch), transform into model space, validate
+// widths, classify everything in one PredictProbaBatch, and scatter the
+// probability rows back to each job's result channel. Every job gets
+// exactly one result; per-job validation failures never fail the rest
+// of the batch.
+func (s *Server) process(batch []*job) {
+	sn := s.snap.Load()
+	if sn == nil {
+		for _, j := range batch {
+			j.deliver(jobResult{err: errors.New("no model trained yet")})
+		}
+		return
+	}
+	start := time.Now()
+
+	// Phase 1: coalesced feature extraction for every window job.
+	var blocks []*ts.Multivariate
+	for _, j := range batch {
+		blocks = append(blocks, j.blocks...)
+	}
+	var extracted [][]float64
+	var extractErr error
+	if len(blocks) > 0 {
+		extractErr = s.prepareBlocks(blocks)
+		if extractErr == nil {
+			extracted = features.ExtractBatch(s.cfg.Extractor, blocks, s.cfg.BatchWorkers)
+			for _, vec := range extracted {
+				features.Sanitize(vec)
+			}
+		}
+	}
+
+	// Phase 2: assemble the model-space matrix. rows aliases job-owned
+	// slices, so only the assembly slice itself is pooled.
+	rows := rowsPool.Get().([][]float64)[:0]
+	offsets := make([]int, len(batch)+1)
+	errs := make([]error, len(batch))
+	bi := 0 // cursor into extracted
+	for i, j := range batch {
+		offsets[i] = len(rows)
+		if len(j.blocks) > 0 {
+			if extractErr != nil {
+				errs[i] = extractErr
+				bi += len(j.blocks)
+				continue
+			}
+			for k := 0; k < len(j.blocks); k++ {
+				vec, err := s.toModelSpace(extracted[bi+k], sn.dim)
+				if err != nil {
+					errs[i] = err
+					break
+				}
+				rows = append(rows, vec)
+			}
+			bi += len(j.blocks)
+			if errs[i] != nil {
+				rows = rows[:offsets[i]]
+				continue
+			}
+		}
+		for _, r := range j.rows {
+			if len(r) != sn.dim {
+				errs[i] = fmt.Errorf("expected %d features, got %d", sn.dim, len(r))
+				break
+			}
+			rows = append(rows, r)
+		}
+		if errs[i] != nil {
+			rows = rows[:offsets[i]]
+		}
+	}
+	offsets[len(batch)] = len(rows)
+
+	// Phase 3: one batched inference pass for every surviving row.
+	var probs [][]float64
+	if len(rows) > 0 {
+		probs = ml.ProbaBatchParallel(sn.model, rows, s.cfg.BatchWorkers)
+	}
+	rowsPool.Put(rows[:0]) //nolint:staticcheck // slice header reuse is the point
+
+	// Phase 4: scatter.
+	for i, j := range batch {
+		res := jobResult{err: errs[i]}
+		if errs[i] == nil {
+			res = jobResult{probs: probs[offsets[i]:offsets[i+1]], snap: sn}
+		}
+		batchWait.Observe(time.Since(j.enqueued).Seconds())
+		j.deliver(res)
+	}
+	batchRows.Observe(float64(offsets[len(batch)]))
+	batchRequests.Observe(float64(len(batch)))
+	obs.ObserveSince(batchLatency, start)
+}
+
+// deliver sends the result without blocking (the out channel is
+// 1-buffered and each job receives exactly one result).
+func (j *job) deliver(res jobResult) {
+	j.out <- res
+}
+
+// prepareBlocks applies the streaming repair steps to raw windows in
+// place: interpolate missing readings, then difference cumulative
+// counters per the configured schema.
+func (s *Server) prepareBlocks(blocks []*ts.Multivariate) error {
+	flags := telemetry.CumulativeFlags(s.cfg.Schema)
+	for _, b := range blocks {
+		ts.InterpolateAll(b)
+		if err := ts.DiffCounters(b, flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// toModelSpace maps one raw extracted feature vector into the model's
+// input space via the fitted preprocessor, validating the final width.
+func (s *Server) toModelSpace(vec []float64, dim int) ([]float64, error) {
+	if s.cfg.Prep != nil {
+		tr, err := s.cfg.Prep.TransformRow(vec)
+		if err != nil {
+			return nil, fmt.Errorf("transforming extracted features: %w", err)
+		}
+		vec = tr
+	}
+	if len(vec) != dim {
+		return nil, fmt.Errorf("extracted %d features, model expects %d", len(vec), dim)
+	}
+	for i, v := range vec {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("non-finite transformed feature at %d", i)
+		}
+	}
+	return vec, nil
+}

@@ -48,9 +48,7 @@ func TestHealthEndpoint(t *testing.T) {
 	}
 
 	// A server whose model is gone reports not-ready with 503.
-	srv.mu.Lock()
-	srv.model = nil
-	srv.mu.Unlock()
+	srv.snap.Store(nil)
 	resp, err = http.Get(ts.URL + "/api/health")
 	if err != nil {
 		t.Fatal(err)
@@ -251,7 +249,7 @@ func TestRetrainRetriesTransientFailures(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New should survive 2 transient failures with 2 retries: %v", err)
 	}
-	if srv.model == nil {
+	if srv.snap.Load() == nil {
 		t.Fatal("no model after retried training")
 	}
 

@@ -20,9 +20,14 @@
 // additionally mounted under /debug/pprof/ (opt-in: profiles expose
 // internals, so production deployments enable them deliberately).
 //
-// The server owns the loop state; handlers serialize access through a
-// mutex, so one annotator session is consistent even with concurrent
-// clients.
+// The server owns the loop state; annotation handlers serialize access
+// through a mutex, so one annotator session is consistent even with
+// concurrent clients. The diagnosis hot path is lock-free: reads go
+// through an atomically swapped immutable snapshot (model + feature
+// schema + preprocessor behind one atomic.Pointer, RCU-style), so a
+// retrain never blocks inference, and concurrent /api/diagnose calls
+// are coalesced by a batching layer into single ExtractBatch +
+// PredictProbaBatch passes (see batch.go).
 package server
 
 import (
@@ -34,12 +39,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"albadross/internal/active"
+	"albadross/internal/core"
 	"albadross/internal/dataset"
 	"albadross/internal/eval"
 	"albadross/internal/explain"
+	"albadross/internal/features"
 	"albadross/internal/ml"
 	"albadross/internal/obs"
 	"albadross/internal/telemetry"
@@ -74,14 +82,57 @@ type Config struct {
 	// EnablePprof mounts the net/http/pprof profiling handlers under
 	// /debug/pprof/ on the handler tree (off by default).
 	EnablePprof bool
+
+	// BatchMaxSize caps how many feature rows one coalesced inference
+	// pass may carry (default 64). Values <= 1 disable coalescing:
+	// every request runs its own serial PredictProba, the pre-batching
+	// behavior the BENCH_4.json serial baseline measures.
+	BatchMaxSize int
+	// BatchMaxWait is how long a forming batch may hold for more
+	// arrivals once at least one request is queued. The default 0 is
+	// pure adaptive batching: a pass starts as soon as the previous one
+	// finishes, carrying whatever accumulated meanwhile, so an idle
+	// server adds no latency.
+	BatchMaxWait time.Duration
+	// BatchWorkers bounds the extract/predict parallelism inside one
+	// pass (default runtime.NumCPU() via the ml and features helpers).
+	BatchWorkers int
+
+	// Schema optionally describes raw telemetry windows (order
+	// matters); with Extractor set it enables window-mode diagnosis:
+	// POST /api/diagnose {"windows": [[[...]...]...]} repairs,
+	// extracts, transforms and classifies raw metric-major windows.
+	Schema []telemetry.Metric
+	// Extractor computes per-metric features for window-mode requests.
+	Extractor features.Extractor
+	// Prep optionally maps raw extracted feature vectors into the
+	// model's input space (the fitted scaler + chi-square selection).
+	// Required for window-mode when the model was trained on
+	// transformed vectors.
+	Prep *core.Preprocessor
+}
+
+// snapshot is the immutable serving state behind the RCU pointer: one
+// fitted model plus everything a diagnosis needs to interpret input and
+// output. A snapshot is never mutated after publication — retrains
+// build a fresh one and atomically swap it in, so readers are
+// wait-free and always see a consistent (model, schema) pair.
+type snapshot struct {
+	model   ml.Classifier
+	classes []string
+	dim     int      // model-space input width
+	names   []string // feature schema (may be nil)
+	version uint64   // monotonically increasing swap count
 }
 
 // Server is the annotation service. Create with New, mount via Handler.
 type Server struct {
-	cfg Config
+	cfg   Config
+	snap  atomic.Pointer[snapshot]
+	swaps atomic.Uint64
+	batch *batcher
 
 	mu      sync.Mutex
-	model   ml.Classifier
 	labeled []int
 	pool    []int
 	yOf     map[int]int
@@ -117,6 +168,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Log == nil {
 		cfg.Log = log.Default()
 	}
+	if cfg.BatchMaxSize == 0 {
+		cfg.BatchMaxSize = 64
+	}
+	if cfg.Schema != nil && cfg.Extractor == nil {
+		return nil, errors.New("server: Schema requires an Extractor")
+	}
 	s := &Server{
 		cfg:     cfg,
 		labeled: append([]int{}, cfg.Split.Initial...),
@@ -134,9 +191,54 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.model = m
+	s.publish(m)
 	s.score()
+	if cfg.BatchMaxSize > 1 {
+		s.batch = newBatcher(s, cfg.BatchMaxSize, cfg.BatchMaxWait)
+	}
 	return s, nil
+}
+
+// Close stops the batching layer. In-flight coalesced requests are
+// drained and answered; later /api/diagnose calls fall back to the
+// direct per-request path, so Close never fails a client. Safe to call
+// more than once.
+func (s *Server) Close() {
+	if s.batch != nil {
+		s.batch.close()
+	}
+}
+
+// publish swaps a freshly trained model in as the current serving
+// snapshot. Readers that loaded the previous snapshot keep using it for
+// the requests they already started (RCU semantics).
+func (s *Server) publish(m ml.Classifier) {
+	sn := &snapshot{
+		model:   m,
+		classes: s.cfg.Data.Classes,
+		dim:     s.cfg.Data.Dim(),
+		names:   s.cfg.FeatureNames,
+		version: s.swaps.Add(1),
+	}
+	s.snap.Store(sn)
+	snapshotSwaps.Inc()
+	modelVersion.Set(float64(sn.version))
+}
+
+// Retrain retrains on the current labeled set and atomically swaps the
+// result in, without ever blocking diagnosis reads. It is the forced
+// path the concurrency tests hammer and an operational escape hatch;
+// /api/label performs the same sequence after each annotation.
+func (s *Server) Retrain() error {
+	s.mu.Lock()
+	x, y := s.snapshotTraining()
+	s.mu.Unlock()
+	m, err := s.trainCandidate(x, y)
+	if err != nil {
+		return err
+	}
+	s.publish(m)
+	return nil
 }
 
 // snapshotTraining copies the labeled training set for a retrain.
@@ -181,7 +283,8 @@ func (s *Server) trainCandidate(x [][]float64, y []int) (ml.Classifier, error) {
 // score evaluates on the split's test set and appends to the history.
 func (s *Server) score() {
 	test := s.cfg.Split.Test
-	if len(test) == 0 {
+	sn := s.snap.Load()
+	if len(test) == 0 || sn == nil {
 		return
 	}
 	x := make([][]float64, len(test))
@@ -190,7 +293,7 @@ func (s *Server) score() {
 		x[k] = s.cfg.Data.X[i]
 		y[k] = s.cfg.Data.Y[i]
 	}
-	rep, err := eval.EvaluateModel(s.model, x, y, len(s.cfg.Data.Classes), s.cfg.HealthyClass)
+	rep, err := eval.EvaluateModel(sn.model, x, y, len(s.cfg.Data.Classes), s.cfg.HealthyClass)
 	if err != nil {
 		return
 	}
@@ -228,17 +331,44 @@ type LabelResponse struct {
 	Latest   StatusPoint `json:"latest"`
 }
 
-// DiagnoseRequest is /api/diagnose's body: an already-transformed
-// feature vector.
+// DiagnoseRequest is /api/diagnose's body. Exactly one of the three
+// fields must be set: Features carries one already-transformed vector
+// (the original protocol), Batch many of them in one request, and
+// Windows raw metric-major telemetry windows ([window][metric][step])
+// that the server repairs, feature-extracts and transforms itself
+// (requires Config.Schema + Extractor).
 type DiagnoseRequest struct {
-	Features []float64 `json:"features"`
+	Features []float64     `json:"features,omitempty"`
+	Batch    [][]float64   `json:"batch,omitempty"`
+	Windows  [][][]float64 `json:"windows,omitempty"`
 }
 
-// DiagnoseResponse is /api/diagnose's payload.
+// DiagnoseResponse is /api/diagnose's payload for one sample.
+// ModelVersion identifies the snapshot that produced it, so clients
+// (and the retrain-swap race tests) can check response consistency.
 type DiagnoseResponse struct {
-	Label      string    `json:"label"`
-	Confidence float64   `json:"confidence"`
-	Probs      []float64 `json:"probs"`
+	Label        string    `json:"label"`
+	Confidence   float64   `json:"confidence"`
+	Probs        []float64 `json:"probs"`
+	ModelVersion uint64    `json:"model_version"`
+}
+
+// BatchDiagnoseResponse answers Batch and Windows requests: one result
+// per input row, all produced by the same model snapshot.
+type BatchDiagnoseResponse struct {
+	Results      []DiagnoseResponse `json:"results"`
+	ModelVersion uint64             `json:"model_version"`
+}
+
+// SchemaResponse is /api/schema's payload: what a diagnosis client
+// needs to build requests without out-of-band coordination.
+type SchemaResponse struct {
+	Classes      []string `json:"classes"`
+	FeatureDim   int      `json:"feature_dim"`
+	FeatureNames []string `json:"feature_names,omitempty"`
+	Metrics      []string `json:"metrics,omitempty"`
+	WindowMode   bool     `json:"window_mode"`
+	ModelVersion uint64   `json:"model_version"`
 }
 
 // Handler returns the HTTP handler tree: every route is instrumented
@@ -253,6 +383,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/label", s.instrument("/api/label", s.handleLabel))
 	mux.HandleFunc("/api/status", s.instrument("/api/status", s.handleStatus))
 	mux.HandleFunc("/api/diagnose", s.instrument("/api/diagnose", s.handleDiagnose))
+	mux.HandleFunc("/api/schema", s.instrument("/api/schema", s.handleSchema))
 	mux.HandleFunc("/api/health", s.instrument("/api/health", s.handleHealth))
 	mux.HandleFunc("/api/metrics", s.instrument("/api/metrics", obs.Handler(obs.Default()).ServeHTTP))
 	mux.HandleFunc("/", s.instrument("/", s.handleIndex))
@@ -295,6 +426,11 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
+	sn := s.snap.Load()
+	if sn == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("no model trained yet"))
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.pool) == 0 {
@@ -314,7 +450,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 			ctx.Probs = make([][]float64, len(s.pool))
 			for k, i := range s.pool {
 				//albacheck:ignore locksafe strategy selection must score a frozen pool/model pair; calls are bounded by the human annotation rate
-				ctx.Probs[k] = s.model.PredictProba(s.cfg.Data.X[i])
+				ctx.Probs[k] = sn.model.PredictProba(s.cfg.Data.X[i])
 			}
 		}
 		if fa, ok := s.cfg.Strategy.(active.FeatureAware); ok && fa.NeedsFeatures() {
@@ -344,10 +480,10 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		Input:    meta.Input,
 		Node:     meta.Node,
 		Classes:  s.cfg.Data.Classes,
-		Probs:    s.model.PredictProba(s.cfg.Data.X[i]), //albacheck:ignore locksafe single-sample inference on the pending item; the response must match the model that selected it
+		Probs:    sn.model.PredictProba(s.cfg.Data.X[i]), //albacheck:ignore locksafe single-sample inference on the pending item; the response must match the model that selected it
 		PoolSize: len(s.pool),
 	}
-	if imp, ok := s.model.(explain.Importancer); ok && s.cfg.FeatureNames != nil {
+	if imp, ok := sn.model.(explain.Importancer); ok && s.cfg.FeatureNames != nil {
 		if hints, err := explain.TopMetrics(imp, s.cfg.FeatureNames, s.cfg.Data.X[i], 5); err == nil {
 			resp.Hints = hints
 		}
@@ -390,8 +526,10 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 	active.CountLabelSpent()
 	active.SetPoolSize(len(s.pool))
 	// Train outside the lock: retry backoff must not block the other
-	// endpoints (notably /api/health) behind mu. The previous model
-	// keeps serving until the candidate is swapped in.
+	// endpoints (notably /api/health) behind mu, and the atomic
+	// snapshot swap means diagnosis reads are never blocked at all —
+	// the previous snapshot keeps serving until publish stores the
+	// candidate.
 	x, y := s.snapshotTraining()
 	s.mu.Unlock()
 	m, err := s.trainCandidate(x, y)
@@ -400,7 +538,7 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.model = m
+	s.publish(m)
 	s.score()
 	writeJSON(w, http.StatusOK, LabelResponse{
 		Accepted: true,
@@ -427,7 +565,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleDiagnose classifies a posted feature vector.
+// handleDiagnose classifies posted feature vectors or raw windows. The
+// handler takes no locks: it resolves the request into model-space rows
+// and hands them to the batching layer, which coalesces concurrent
+// requests into one ExtractBatch + PredictProbaBatch pass against a
+// single atomically loaded snapshot. With batching disabled
+// (BatchMaxSize <= 1) the same work runs inline per request.
 func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
@@ -438,26 +581,73 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	// Snapshot the model under the lock, then run inference unlocked so a
-	// slow predict cannot stall annotation traffic.
-	s.mu.Lock()
-	if len(req.Features) != s.cfg.Data.Dim() {
-		dim := s.cfg.Data.Dim()
-		s.mu.Unlock()
-		writeErr(w, http.StatusBadRequest,
-			fmt.Errorf("expected %d features, got %d", dim, len(req.Features)))
+	j, err := s.newJob(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	model := s.model
-	classes := s.cfg.Data.Classes
-	s.mu.Unlock()
-	probs := model.PredictProba(req.Features)
-	best := ml.Argmax(probs)
-	writeJSON(w, http.StatusOK, DiagnoseResponse{
-		Label:      classes[best],
-		Confidence: probs[best],
-		Probs:      probs,
+	res := s.run(j)
+	jobPool.Put(j) // result rows live in the pass's own matrix, not the job
+	if res.err != nil {
+		writeErr(w, http.StatusBadRequest, res.err)
+		return
+	}
+	results := make([]DiagnoseResponse, len(res.probs))
+	for i, p := range res.probs {
+		best := ml.Argmax(p)
+		results[i] = DiagnoseResponse{
+			Label:        res.snap.classes[best],
+			Confidence:   p[best],
+			Probs:        p,
+			ModelVersion: res.snap.version,
+		}
+	}
+	if req.Features != nil {
+		writeJSON(w, http.StatusOK, results[0])
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchDiagnoseResponse{
+		Results:      results,
+		ModelVersion: res.snap.version,
 	})
+}
+
+// run executes one diagnosis job through the batching layer, falling
+// back to the inline path when batching is disabled or closed. Either
+// way the result is taken from the job's channel — process always
+// delivers there, and leaving a buffered result behind would poison the
+// job for its next pooled reuse.
+func (s *Server) run(j *job) jobResult {
+	if s.batch == nil || !s.batch.enqueue(j) {
+		s.process([]*job{j})
+	}
+	return <-j.out
+}
+
+// handleSchema describes the diagnosis contract (classes, feature
+// width, metric schema) so load generators and deployed probes can
+// build requests without out-of-band coordination.
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	sn := s.snap.Load()
+	if sn == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("no model trained yet"))
+		return
+	}
+	resp := SchemaResponse{
+		Classes:      sn.classes,
+		FeatureDim:   sn.dim,
+		FeatureNames: sn.names,
+		WindowMode:   s.cfg.Schema != nil,
+		ModelVersion: sn.version,
+	}
+	for _, m := range s.cfg.Schema {
+		resp.Metrics = append(resp.Metrics, m.Name)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealth is the liveness/readiness probe: cheap, lock-scoped
@@ -467,22 +657,30 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
+	sn := s.snap.Load()
+	ready := sn != nil && sn.model != nil
 	s.mu.Lock()
-	ready := s.model != nil
 	labeled, pool := len(s.labeled), len(s.pool)
 	s.mu.Unlock()
 	status := "ok"
 	code := http.StatusOK
+	var version uint64
+	var dim int
 	if !ready {
 		status = "training"
 		code = http.StatusServiceUnavailable
+	} else {
+		version = sn.version
+		dim = sn.dim
 	}
 	writeJSON(w, code, map[string]interface{}{
-		"status":   status,
-		"ready":    ready,
-		"labeled":  labeled,
-		"pool":     pool,
-		"uptime_s": int(time.Since(s.started).Seconds()),
+		"status":        status,
+		"ready":         ready,
+		"labeled":       labeled,
+		"pool":          pool,
+		"uptime_s":      int(time.Since(s.started).Seconds()),
+		"model_version": version,
+		"feature_dim":   dim,
 	})
 }
 

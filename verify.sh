@@ -4,7 +4,10 @@
 # exits non-zero on first failure.
 #
 #   ./verify.sh          # the standard gate
-#   ./verify.sh --deep   # additionally smoke-fuzzes the CSV parser
+#   ./verify.sh --deep   # additionally: fuzz smokes (CSV parser,
+#                        # stream ingest), the serving benchmark against
+#                        # BENCH_4.json, and the coverage floor gate
+#                        # against coverage_baseline.txt
 set -eu
 
 deep=0
@@ -30,6 +33,40 @@ go test -race ./...
 if [ "$deep" -eq 1 ]; then
   echo "== fuzz smoke: FuzzReadCSV (10s)"
   go test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/ldms/
+
+  echo "== fuzz smoke: FuzzPushAt (10s)"
+  go test -fuzz=FuzzPushAt -fuzztime=10s ./internal/stream/
+
+  echo "== serving benchmark vs BENCH_4.json (see docs/TESTING.md)"
+  go run ./cmd/loadgen -selfcheck -duration 2s -trials 2 \
+    -baseline BENCH_4.json -tolerance 0.20 -min-speedup 2.5
+
+  echo "== coverage floors vs coverage_baseline.txt"
+  go test -cover ./internal/server/ ./internal/stream/ ./internal/active/ \
+    > /tmp/albadross_cover.$$ 2>&1 || { cat /tmp/albadross_cover.$$; rm -f /tmp/albadross_cover.$$; exit 1; }
+  cat /tmp/albadross_cover.$$
+  awk '
+    NR==FNR {
+      if ($0 !~ /^#/ && NF >= 2) floor[$1] = $2 + 0
+      next
+    }
+    /coverage:/ {
+      pkg = $2
+      for (i = 1; i <= NF; i++) if ($i == "coverage:") { pct = $(i+1); sub(/%/, "", pct) }
+      if (pkg in floor) {
+        seen[pkg] = 1
+        if (pct + 0 < floor[pkg] - 1.0) {
+          printf "coverage gate: %s at %.1f%% is more than 1.0 point below the committed %.1f%%\n", pkg, pct, floor[pkg]
+          bad = 1
+        }
+      }
+    }
+    END {
+      for (p in floor) if (!(p in seen)) { printf "coverage gate: no fresh measurement for %s\n", p; bad = 1 }
+      exit bad
+    }
+  ' coverage_baseline.txt /tmp/albadross_cover.$$ || { rm -f /tmp/albadross_cover.$$; exit 1; }
+  rm -f /tmp/albadross_cover.$$
 fi
 
 echo "verify: OK"
