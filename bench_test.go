@@ -21,12 +21,14 @@ import (
 	"albadross/internal/features"
 	"albadross/internal/features/mvts"
 	"albadross/internal/features/tsfresh"
+	"albadross/internal/ml"
 	"albadross/internal/ml/forest"
 	"albadross/internal/ml/gbm"
 	"albadross/internal/ml/linear"
 	"albadross/internal/ml/neural"
 	"albadross/internal/ml/tree"
 	"albadross/internal/obs"
+	"albadross/internal/runner"
 	"albadross/internal/telemetry"
 )
 
@@ -324,6 +326,93 @@ func BenchmarkActiveLearningLoop(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := loop.Run(d, split.Initial, split.Pool, test, active.RunConfig{MaxQueries: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkALLoopPerQuery(b *testing.B) {
+	// Per-query cost of the incremental loop hot path: batched pool
+	// scoring plus the splice-based labeled/pool bookkeeping. The custom
+	// metric divides out the query budget.
+	classes := []string{"healthy", "a1", "a2"}
+	rng := rand.New(rand.NewSource(21))
+	mk := func(n int) *dataset.Dataset {
+		d := dataset.New(classes)
+		for i := 0; i < n; i++ {
+			label := 0
+			if rng.Float64() < 0.2 {
+				label = 1 + rng.Intn(2)
+			}
+			x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+			if label > 0 {
+				x[label] += 2
+			}
+			_ = d.Add(x, classes[label], telemetry.RunMeta{App: "BT"})
+		}
+		return d
+	}
+	d := mk(900)
+	test := mk(200)
+	split, err := dataset.MakeALSplit(d, dataset.ALSplitConfig{
+		TestFraction: 0.2, AnomalyRatio: 0.1, Seed: 22,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const queries = 16
+	loop := &active.Loop{
+		Factory:   forest.NewFactory(forest.Config{NEstimators: 10, MaxDepth: 6, Seed: 1}),
+		Strategy:  active.Entropy{},
+		Annotator: active.Oracle{D: d},
+		Seed:      23,
+		EvalEvery: 4,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loop.Run(d, split.Initial, split.Pool, test, active.RunConfig{MaxQueries: queries}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/queries, "ns/query")
+}
+
+func BenchmarkPoolScoringSerial(b *testing.B) {
+	// The pre-batching hot path: one PredictProba dispatch per pool row.
+	x, y := benchMatrix(512, 32, 3, 24)
+	f := forest.New(forest.Config{NEstimators: 20, MaxDepth: 8, Seed: 25})
+	if err := f.Fit(x, y, 3); err != nil {
+		b.Fatal(err)
+	}
+	pool := x[:256]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ml.ProbaBatch(f, pool)
+	}
+}
+
+func BenchmarkPoolScoringBatched(b *testing.B) {
+	// The loop's current pool scorer: one batch pass, flat output matrix.
+	x, y := benchMatrix(512, 32, 3, 24)
+	f := forest.New(forest.Config{NEstimators: 20, MaxDepth: 8, Seed: 25})
+	if err := f.Fit(x, y, 3); err != nil {
+		b.Fatal(err)
+	}
+	pool := x[:256]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ml.ProbaBatchParallel(f, pool, 0)
+	}
+}
+
+func BenchmarkSweepRunner(b *testing.B) {
+	// Raw fan-out overhead of the shared bounded runner over trivial cells.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := runner.ForEach(64, 8, func(int) error { return nil }); err != nil {
 			b.Fatal(err)
 		}
 	}

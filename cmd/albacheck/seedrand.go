@@ -13,9 +13,15 @@ import (
 // seed the caller owns, so a run's outputs are a pure function of its
 // configuration — the determinism probe in the verify skill (same seed
 // twice, diff the CSVs) depends on it.
+// It also guards the parallel sweep contract: inside a worker closure
+// passed to a bounded fan-out (runner.ForEach, ml.ParallelRows), a
+// rand.NewSource / rand.NewPCG seed must be derived from the closure's
+// cell index — a seed computed only from captured state gives every
+// parallel cell the same stream, which silently collapses a sweep's
+// cells into copies of one another.
 var seedrandAnalyzer = &Analyzer{
 	Name: "seedrand",
-	Doc:  "global math/rand source or time.Now-derived seeds in experiment packages",
+	Doc:  "global math/rand source, time.Now-derived seeds, or cell-independent seeds in parallel closures",
 	Applies: appliesTo(
 		"albadross/internal/ml",
 		"albadross/internal/active",
@@ -23,6 +29,9 @@ var seedrandAnalyzer = &Analyzer{
 		"albadross/internal/hpas",
 		"albadross/internal/chaos",
 		"albadross/internal/features",
+		"albadross/internal/runner",
+		"albadross/internal/experiments",
+		"albadross/internal/eval",
 	),
 	Run: runSeedrand,
 }
@@ -39,12 +48,26 @@ func isRandPkg(path string) bool {
 	return path == "math/rand" || path == "math/rand/v2"
 }
 
+// fanOutCallees are the bounded fan-out entry points whose worker
+// closures run once per cell: a seed drawn inside one must depend on
+// the cell index.
+var fanOutCallees = map[string]bool{
+	"ForEach": true, "ParallelRows": true,
+}
+
 func runSeedrand(p *Pass) {
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
+			}
+			if fanOutCallees[calleeName(call)] {
+				for _, arg := range call.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						checkCellSeeds(p, lit)
+					}
+				}
 			}
 			fn := funcFor(p.Info, call)
 			if fn == nil || !isRandPkg(funcPkgPath(fn)) {
@@ -68,6 +91,70 @@ func runSeedrand(p *Pass) {
 			return true
 		})
 	}
+}
+
+// calleeName returns the called function or method's bare name ("" when
+// the callee isn't a plain identifier or selector).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// checkCellSeeds reports rand.NewSource / rand.NewPCG calls inside a
+// fan-out worker closure whose seed expression does not reference any
+// identifier declared inside the closure (its cell-index parameter or
+// anything derived from it): such a seed is identical for every cell.
+func checkCellSeeds(p *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcFor(p.Info, call)
+		if fn == nil || !isRandPkg(funcPkgPath(fn)) || isMethod(fn) {
+			return true
+		}
+		if name := fn.Name(); name != "NewSource" && name != "NewPCG" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if !refsLocalOf(p.Info, arg, lit) {
+				p.Reportf(call.Pos(), "seed inside a parallel worker closure does not depend on the cell index; derive it per cell (e.g. runner.CellSeed) so cells draw distinct deterministic streams")
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// refsLocalOf reports whether e references an identifier declared
+// within lit — a closure parameter or a local derived from one.
+func refsLocalOf(info *types.Info, e ast.Expr, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // findTimeNow returns the first call to time.Now in the expression

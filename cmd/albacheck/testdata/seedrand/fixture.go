@@ -25,3 +25,40 @@ func injectedSeed(seed int64) *rand.Rand {
 func injectedRand(rng *rand.Rand) int {
 	return rng.Intn(10) // ok: methods on an injected *rand.Rand
 }
+
+// ForEach stands in for the bounded fan-out runner: the analyzer keys
+// on the callee name, so a local signature-compatible helper exercises
+// the same path.
+func ForEach(n, workers int, f func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := f(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cellIndependentSeed(seed int64) {
+	_ = ForEach(8, 2, func(i int) error {
+		rng := rand.New(rand.NewSource(seed)) // want "seed inside a parallel worker closure does not depend on the cell index"
+		_ = rng.Intn(10)
+		return nil
+	})
+}
+
+func cellDerivedSeed(seed int64) {
+	_ = ForEach(8, 2, func(i int) error {
+		rng := rand.New(rand.NewSource(seed + int64(i)*977)) // ok: pure function of the cell index
+		_ = rng.Intn(10)
+		return nil
+	})
+}
+
+func cellDerivedViaLocal(seed int64) {
+	_ = ForEach(8, 2, func(i int) error {
+		cell := seed + int64(i)
+		rng := rand.New(rand.NewSource(cell)) // ok: derived from the cell index via a closure local
+		_ = rng.Intn(10)
+		return nil
+	})
+}

@@ -16,11 +16,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -92,8 +94,19 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallelism (0 = all cores)")
 		plot      = flag.Bool("plot", false, "render ASCII charts for curve artifacts")
 		metrics   = flag.Bool("metrics", false, "print the obs registry (Prometheus text) after the run: per-stage latencies and counters (see docs/OBSERVABILITY.md)")
+
+		bench      = flag.Bool("bench", false, "run the sweep/AL/GBM benchmark (BENCH_5.json) instead of an artifact")
+		benchOut   = flag.String("bench-out", "", "write the benchmark report (BENCH_5.json) here")
+		benchBase  = flag.String("bench-baseline", "", "compare the benchmark report against this committed baseline")
+		benchTol   = flag.Float64("bench-tolerance", 0.20, "allowed fractional regression vs the baseline")
+		benchSpeed = flag.Float64("bench-min-speedup", 2.5, "required sweep speedup at full parallelism (scaled down on hosts with fewer cores)")
+		benchTry   = flag.Int("bench-trials", 1, "trials per sweep configuration; best is reported")
 	)
 	flag.Parse()
+	if *bench {
+		runBench(*benchOut, *benchBase, *benchTol, *benchSpeed, *benchTry, *seed, *workers)
+		return
+	}
 	if *runFlag == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -167,6 +180,49 @@ func main() {
 		if err := obs.Default().WritePrometheus(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// runBench runs the experiment-engine benchmark (committed as
+// BENCH_5.json; verify.sh --deep runs the comparison form).
+func runBench(out, baseline string, tolerance, minSpeedup float64, trials int, seed int64, workers int) {
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	}
+	report, err := experiments.RunBench5(experiments.Bench5Config{
+		Workers: workers,
+		Trials:  trials,
+		Seed:    seed,
+	}, runtime.GOMAXPROCS(0), logf)
+	if err != nil {
+		fatal(err)
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if out != "" {
+		if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		logf("wrote %s", out)
+	}
+	if baseline != "" {
+		base, err := experiments.LoadBench5(baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if bad := experiments.CompareBench5(report, base, tolerance, minSpeedup); len(bad) > 0 {
+			for _, b := range bad {
+				fmt.Fprintln(os.Stderr, "experiments: FAIL:", b)
+			}
+			os.Exit(1)
+		}
+		logf("within %.0f%% of baseline, sweep %.2fx at %d workers (gomaxprocs %d)",
+			tolerance*100, report.Sweep.Speedup, report.Sweep.Workers, report.GoMaxProcs)
+	}
+	if out == "" && baseline == "" {
+		fmt.Println(string(raw))
 	}
 }
 

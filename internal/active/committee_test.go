@@ -6,6 +6,7 @@ import (
 
 	"albadross/internal/ml"
 	"albadross/internal/ml/forest"
+	"albadross/internal/ml/linear"
 	"albadross/internal/telemetry"
 )
 
@@ -76,6 +77,115 @@ func TestQueryByCommitteeInLoopWithForest(t *testing.T) {
 	first, last := res.Records[0], res.Records[len(res.Records)-1]
 	if !(last.F1 >= first.F1) {
 		t.Fatalf("QBC degraded F1: %v -> %v", first.F1, last.F1)
+	}
+}
+
+// TestQueryByCommitteeWorkerParity asserts the parallel pool scan picks
+// the same sample as the serial one: scores are computed per cell and
+// the argmax stays a serial first-max scan.
+func TestQueryByCommitteeWorkerParity(t *testing.T) {
+	d, initial, pool, _ := buildALProblem(t, 191)
+	f := forest.New(forest.Config{NEstimators: 12, MaxDepth: 5, Seed: 5})
+	var x [][]float64
+	var y []int
+	for _, i := range initial {
+		x = append(x, d.X[i])
+		y = append(y, d.Y[i])
+	}
+	if err := f.Fit(x, y, len(d.Classes)); err != nil {
+		t.Fatal(err)
+	}
+	poolX := make([][]float64, len(pool))
+	for k, i := range pool {
+		poolX[k] = d.X[i]
+	}
+	ctx := &QueryContext{
+		PoolX: poolX,
+		Meta:  make([]telemetry.RunMeta, len(pool)),
+		Rng:   rand.New(rand.NewSource(7)),
+		Model: f,
+	}
+	want := (QueryByCommittee{Workers: 1}).Next(ctx)
+	for _, workers := range []int{0, 2, 8} {
+		if got := (QueryByCommittee{Workers: workers}).Next(ctx); got != want {
+			t.Fatalf("Workers=%d picked %d, Workers=1 picked %d", workers, got, want)
+		}
+	}
+}
+
+// TestTrainedCommitteeWorkerParity asserts member training is identical
+// for any worker count: each member's bootstrap rng is seeded purely
+// from its index.
+func TestTrainedCommitteeWorkerParity(t *testing.T) {
+	d, initial, _, _ := buildALProblem(t, 192)
+	var x [][]float64
+	var y []int
+	for _, i := range initial {
+		x = append(x, d.X[i])
+		y = append(y, d.Y[i])
+	}
+	fit := func(workers int) *TrainedCommittee {
+		c := NewCommittee(
+			forest.NewFactory(forest.Config{NEstimators: 5, MaxDepth: 4, Seed: 3}),
+			CommitteeConfig{Members: 4, Workers: workers, Seed: 55},
+		)
+		if err := c.Fit(x, y, len(d.Classes)); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	ref := fit(1)
+	for _, workers := range []int{0, 8} {
+		got := fit(workers)
+		for _, row := range x {
+			rp, gp := ref.MemberProbas(row), got.MemberProbas(row)
+			for m := range rp {
+				for c := range rp[m] {
+					if rp[m][c] != gp[m][c] {
+						t.Fatalf("Workers=%d: member %d class %d proba %v, want %v (bitwise)",
+							workers, m, c, gp[m][c], rp[m][c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTrainedCommitteeWithNonEnsembleModel runs query-by-committee over
+// logistic-regression members — a model with no committee of its own —
+// end to end through the loop.
+func TestTrainedCommitteeWithNonEnsembleModel(t *testing.T) {
+	d, initial, pool, test := buildALProblem(t, 193)
+	loop := &Loop{
+		Factory: NewCommitteeFactory(
+			linear.NewFactory(linear.Config{C: 1, MaxIter: 40}),
+			CommitteeConfig{Members: 3, Seed: 31},
+		),
+		Strategy:  QueryByCommittee{},
+		Annotator: Oracle{D: d},
+		Seed:      94,
+	}
+	res, err := loop.Run(d, initial, pool, test, RunConfig{MaxQueries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 9 {
+		t.Fatalf("expected 9 records, got %d", len(res.Records))
+	}
+	cm, ok := res.Model.(*TrainedCommittee)
+	if !ok {
+		t.Fatalf("final model is %T, want *TrainedCommittee", res.Model)
+	}
+	if len(cm.Members) != 3 {
+		t.Fatalf("committee kept %d members, want 3", len(cm.Members))
+	}
+	p := cm.PredictProba(d.X[0])
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("soft vote is not a distribution: %v", p)
 	}
 }
 

@@ -62,6 +62,10 @@ type Loop struct {
 	// Intermediate queries still retrain the model; their records carry
 	// the last computed scores.
 	EvalEvery int
+	// Workers bounds the pool-scoring parallelism (0 = GOMAXPROCS). The
+	// trajectory is identical for any worker count: batch prediction is
+	// bit-equal to per-row PredictProba.
+	Workers int
 }
 
 // RunConfig bounds one Run.
@@ -130,16 +134,29 @@ func (l *Loop) Run(d *dataset.Dataset, initial, pool []int, test *dataset.Datase
 		yOf[i] = l.Annotator.Label(i)
 	}
 
+	// Incremental views of the labeled and pool sets, maintained across
+	// queries instead of being rebuilt from scratch each step: labeling a
+	// sample appends its row to trainX/trainY and splices it out of
+	// poolX/poolMeta, mirroring poolIdx. Models may not mutate Fit input
+	// and strategies may not mutate QueryContext slices, so sharing the
+	// backing arrays is safe.
+	trainX := make([][]float64, 0, len(labeled)+cfg.MaxQueries)
+	trainY := make([]int, 0, len(labeled)+cfg.MaxQueries)
+	for _, i := range labeled {
+		trainX = append(trainX, d.X[i])
+		trainY = append(trainY, yOf[i])
+	}
+	poolX := make([][]float64, len(poolIdx))
+	poolMeta := make([]telemetry.RunMeta, len(poolIdx))
+	for k, i := range poolIdx {
+		poolX[k] = d.X[i]
+		poolMeta[k] = d.Meta[i]
+	}
+
 	train := func() (ml.Classifier, error) {
-		x := make([][]float64, len(labeled))
-		y := make([]int, len(labeled))
-		for k, i := range labeled {
-			x[k] = d.X[i]
-			y[k] = yOf[i]
-		}
 		m := l.Factory()
-		if err := m.Fit(x, y, nClasses); err != nil {
-			return nil, fmt.Errorf("active: retraining with %d labels: %w", len(labeled), err)
+		if err := m.Fit(trainX, trainY, nClasses); err != nil {
+			return nil, fmt.Errorf("active: retraining with %d labels: %w", len(trainX), err)
 		}
 		return m, nil
 	}
@@ -167,26 +184,20 @@ func (l *Loop) Run(d *dataset.Dataset, initial, pool []int, test *dataset.Datase
 
 	for q := 0; q < cfg.MaxQueries && len(poolIdx) > 0; q++ {
 		qctx := &QueryContext{Rng: rng, Query: q}
-		qctx.Meta = metaOf(d, poolIdx)
+		qctx.Meta = poolMeta
 		if l.Strategy.NeedsProbs() {
-			probs := make([][]float64, len(poolIdx))
-			for k, i := range poolIdx {
-				probs[k] = model.PredictProba(d.X[i])
-			}
-			qctx.Probs = probs
+			// One batch pass over the pool instead of a per-row dispatch:
+			// native BatchPredictor models (forest, gbm) score the whole
+			// pool with two allocations, and the rows are bit-equal to
+			// per-row PredictProba for any worker count.
+			qctx.Probs = ml.ProbaBatchParallel(model, poolX, l.Workers)
 		}
 		if ma, ok := l.Strategy.(ModelAware); ok && ma.NeedsModel() {
 			qctx.Model = model
 		}
 		if fa, ok := l.Strategy.(FeatureAware); ok && fa.NeedsFeatures() {
-			qctx.PoolX = make([][]float64, len(poolIdx))
-			for k, i := range poolIdx {
-				qctx.PoolX[k] = d.X[i]
-			}
-			qctx.LabeledX = make([][]float64, len(labeled))
-			for k, i := range labeled {
-				qctx.LabeledX[k] = d.X[i]
-			}
+			qctx.PoolX = poolX
+			qctx.LabeledX = trainX
 		}
 		selectStart := time.Now()
 		pos := l.Strategy.Next(qctx)
@@ -196,8 +207,12 @@ func (l *Loop) Run(d *dataset.Dataset, initial, pool []int, test *dataset.Datase
 		}
 		di := poolIdx[pos]
 		poolIdx = append(poolIdx[:pos], poolIdx[pos+1:]...)
+		poolX = append(poolX[:pos], poolX[pos+1:]...)
+		poolMeta = append(poolMeta[:pos], poolMeta[pos+1:]...)
 		yOf[di] = l.Annotator.Label(di)
 		labeled = append(labeled, di)
+		trainX = append(trainX, d.X[di])
+		trainY = append(trainY, yOf[di])
 		CountLabelSpent()
 		SetPoolSize(len(poolIdx))
 
@@ -225,13 +240,4 @@ func (l *Loop) Run(d *dataset.Dataset, initial, pool []int, test *dataset.Datase
 	}
 	res.labeled = labeled
 	return res, nil
-}
-
-// metaOf gathers the metadata of the given dataset indices.
-func metaOf(d *dataset.Dataset, idx []int) []telemetry.RunMeta {
-	out := make([]telemetry.RunMeta, len(idx))
-	for k, i := range idx {
-		out[k] = d.Meta[i]
-	}
-	return out
 }

@@ -14,6 +14,7 @@ import (
 
 	"albadross/internal/dataset"
 	"albadross/internal/ml"
+	"albadross/internal/runner"
 )
 
 // Report summarizes classifier performance on a labeled set.
@@ -232,16 +233,28 @@ type GridResult struct {
 // determinism), mirroring the paper's grid search in a 5-fold stratified
 // CV setting.
 func GridSearch(cands []Candidate, x [][]float64, y []int, nClasses, healthyClass, k int, seed int64) ([]GridResult, error) {
+	return GridSearchParallel(cands, x, y, nClasses, healthyClass, k, seed, 1)
+}
+
+// GridSearchParallel is GridSearch with the candidate cross-validations
+// fanned out across a bounded worker pool (workers <= 0 uses
+// GOMAXPROCS). Every candidate's CV runs under the same shared seed, so
+// the ranking is identical to the serial GridSearch for any worker
+// count.
+func GridSearchParallel(cands []Candidate, x [][]float64, y []int, nClasses, healthyClass, k int, seed int64, workers int) ([]GridResult, error) {
 	if len(cands) == 0 {
 		return nil, errors.New("eval: empty candidate grid")
 	}
 	results := make([]GridResult, len(cands))
-	for i, c := range cands {
-		cv, err := CrossValidate(c.Factory, x, y, nClasses, healthyClass, k, seed)
+	if err := runner.ForEach(len(cands), workers, func(i int) error {
+		cv, err := CrossValidate(cands[i].Factory, x, y, nClasses, healthyClass, k, seed)
 		if err != nil {
-			return nil, fmt.Errorf("eval: candidate %d (%s): %w", i, c.ParamString(), err)
+			return fmt.Errorf("eval: candidate %d (%s): %w", i, cands[i].ParamString(), err)
 		}
-		results[i] = GridResult{Candidate: c, CV: cv}
+		results[i] = GridResult{Candidate: cands[i], CV: cv}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	order := make([]int, len(results))
 	for i := range order {

@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"strings"
-	"sync"
 
 	"albadross/internal/chaos"
 	"albadross/internal/core"
@@ -15,6 +13,7 @@ import (
 	"albadross/internal/features"
 	"albadross/internal/hpas"
 	"albadross/internal/ml"
+	"albadross/internal/runner"
 	"albadross/internal/stream"
 	"albadross/internal/telemetry"
 )
@@ -134,7 +133,7 @@ func RunChaosMatrix(cfg Config, opts ChaosOptions) (*ChaosResult, error) {
 	d := dataset.New(hpas.Labels())
 	d.FeatureNames = features.VectorNames(ex, metricNames)
 	vecs := make([][]float64, len(raw))
-	if err := parallelFor(len(raw), cfg.Workers, func(i int) error {
+	if err := runner.ForEach(len(raw), cfg.Workers, func(i int) error {
 		clean := &telemetry.NodeSample{Meta: raw[i].Meta, Data: raw[i].Data.Clone()}
 		if err := core.PreprocessRun(clean, cumulative); err != nil {
 			return err
@@ -210,7 +209,7 @@ func RunChaosMatrix(cfg Config, opts ChaosOptions) (*ChaosResult, error) {
 		}
 	}
 	cells := make([]ChaosCell, len(jobs))
-	if err := parallelFor(len(jobs), cfg.Workers, func(ji int) error {
+	if err := runner.ForEach(len(jobs), cfg.Workers, func(ji int) error {
 		job := jobs[ji]
 		xs := make([][]float64, len(testIdx))
 		for k, i := range testIdx {
@@ -377,7 +376,7 @@ func generateRaw(cfg Config, sys *telemetry.SystemSpec) ([]*telemetry.NodeSample
 		}
 	}
 	outs := make([][]*telemetry.NodeSample, len(plan))
-	if err := parallelFor(len(plan), cfg.Workers, func(pi int) error {
+	if err := runner.ForEach(len(plan), cfg.Workers, func(pi int) error {
 		samples, err := sys.GenerateRun(plan[pi])
 		if err != nil {
 			return err
@@ -392,43 +391,6 @@ func generateRaw(cfg Config, sys *telemetry.SystemSpec) ([]*telemetry.NodeSample
 		raw = append(raw, s...)
 	}
 	return raw, nil
-}
-
-// parallelFor runs f(0..n-1) on a bounded worker pool, returning the
-// first error (all workers drain before returning).
-func parallelFor(n, workers int, f func(i int) error) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if n == 0 {
-		return nil
-	}
-	errs := make([]error, n)
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				errs[i] = f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // WriteCSV emits one row per cell plus the baseline.

@@ -8,6 +8,7 @@ import (
 
 	"albadross/internal/dataset"
 	"albadross/internal/report"
+	"albadross/internal/runner"
 )
 
 // CurvePoint is one aggregated point of a query-trajectory plot: the
@@ -59,43 +60,76 @@ func RunCurves(cfg Config) (*CurvesResult, error) {
 	}
 	res := &CurvesResult{Figure: figure, Config: cfg}
 
-	// trajectories[method][split] = records
+	// Every (split × method) cell is an independent query loop whose seed
+	// is a pure function of its split index, so the cells fan out across
+	// cfg.Workers with bit-identical results for any worker count (the
+	// worker-parity test in parallel_test.go pins this). Splits prepare
+	// first — one preprocessing fit each, shared read-only by the split's
+	// six method cells — which holds all splits' transformed matrices in
+	// memory at once (fine at every scale preset).
+	preps, err := prepareSplits(d, cfg)
+	if err != nil {
+		return nil, err
+	}
 	methods := MethodNames()
-	traj := make(map[string][][]float64)
-	far := make(map[string][][]float64)
-	amr := make(map[string][][]float64)
-	for split := 0; split < cfg.Splits; split++ {
+	type cell struct{ f1s, fas, ams []float64 }
+	cells := make([]cell, cfg.Splits*len(methods))
+	if err := runner.ForEach(len(cells), cfg.Workers, func(ci int) error {
+		split, m := ci/len(methods), methods[ci%len(methods)]
+		r, err := methodRun(m, preps[split], cfg, cfg.Seed+int64(split)*977+13, 0)
+		if err != nil {
+			return fmt.Errorf("experiments: %s split %d: %w", m, split, err)
+		}
+		c := &cells[ci]
+		c.f1s = make([]float64, len(r.Records))
+		c.fas = make([]float64, len(r.Records))
+		c.ams = make([]float64, len(r.Records))
+		for i, rec := range r.Records {
+			c.f1s[i], c.fas[i], c.ams[i] = rec.F1, rec.FalseAlarmRate, rec.AnomalyMissRate
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Aggregate in (method, split) order — the same float-summation order
+	// the serial loop used, which exact-match fixtures depend on.
+	for mi, m := range methods {
+		var f1s, fas, ams [][]float64
+		for split := 0; split < cfg.Splits; split++ {
+			c := cells[split*len(methods)+mi]
+			f1s = append(f1s, c.f1s)
+			fas = append(fas, c.fas)
+			ams = append(ams, c.ams)
+		}
+		res.Curves = append(res.Curves, aggregate(m, f1s, fas, ams))
+	}
+	return res, nil
+}
+
+// prepareSplits builds every split's prepared dataset concurrently. The
+// split seeds (cfg.Seed + split*101) are the published per-split
+// derivation every sweep shares.
+func prepareSplits(d *dataset.Dataset, cfg Config) ([]*prepared, error) {
+	preps := make([]*prepared, cfg.Splits)
+	err := runner.ForEach(cfg.Splits, cfg.Workers, func(split int) error {
 		alSplit, err := dataset.MakeALSplit(d, dataset.ALSplitConfig{
 			TestFraction: 0.3, AnomalyRatio: 0.10, HealthyClass: 0,
 			Seed: cfg.Seed + int64(split)*101,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p, err := prepare(d, alSplit, cfg.TopK)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, m := range methods {
-			r, err := methodRun(m, p, cfg, cfg.Seed+int64(split)*977+13, 0)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s split %d: %w", m, split, err)
-			}
-			f1s := make([]float64, len(r.Records))
-			fas := make([]float64, len(r.Records))
-			ams := make([]float64, len(r.Records))
-			for i, rec := range r.Records {
-				f1s[i], fas[i], ams[i] = rec.F1, rec.FalseAlarmRate, rec.AnomalyMissRate
-			}
-			traj[m] = append(traj[m], f1s)
-			far[m] = append(far[m], fas)
-			amr[m] = append(amr[m], ams)
-		}
+		preps[split] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, m := range methods {
-		res.Curves = append(res.Curves, aggregate(m, traj[m], far[m], amr[m]))
-	}
-	return res, nil
+	return preps, nil
 }
 
 // aggregate averages per-split trajectories pointwise (trajectories may

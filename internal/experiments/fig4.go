@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"albadross/internal/dataset"
+	"albadross/internal/runner"
 )
 
 // DrilldownResult reproduces Fig. 4: the distribution of application and
@@ -46,31 +47,55 @@ func RunDrilldown(cfg Config, queries int) (*DrilldownResult, error) {
 		HealthyPerApp: map[string]float64{},
 	}
 	method := BestStrategy(cfg.System)
-	for split := 0; split < cfg.Splits; split++ {
+	// Splits fan out as independent cells (seeds derived from the split
+	// index); each collects its own count maps, merged in split order
+	// afterwards so the result matches the serial accumulation exactly.
+	type splitCounts struct {
+		labels, apps, healthy map[string]float64
+	}
+	outs := make([]splitCounts, cfg.Splits)
+	if err := runner.ForEach(cfg.Splits, cfg.Workers, func(split int) error {
 		alSplit, err := dataset.MakeALSplit(d, dataset.ALSplitConfig{
 			TestFraction: 0.3, AnomalyRatio: 0.10, HealthyClass: 0,
 			Seed: cfg.Seed + int64(split)*101,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p, err := prepare(d, alSplit, cfg.TopK)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		qcfg := cfg
 		qcfg.MaxQueries = queries
 		r, err := methodRun(method, p, qcfg, cfg.Seed+int64(split)*977+13, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		o := &outs[split]
+		o.labels = map[string]float64{}
+		o.apps = map[string]float64{}
+		o.healthy = map[string]float64{}
 		for _, rec := range r.Records[1:] { // skip the initial record
-			label := d.Classes[rec.Label]
-			res.LabelCounts[label]++
-			res.AppCounts[rec.App]++
+			o.labels[d.Classes[rec.Label]]++
+			o.apps[rec.App]++
 			if rec.Label == 0 {
-				res.HealthyPerApp[rec.App]++
+				o.healthy[rec.App]++
 			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for split := 0; split < cfg.Splits; split++ {
+		for k, v := range outs[split].labels {
+			res.LabelCounts[k] += v
+		}
+		for k, v := range outs[split].apps {
+			res.AppCounts[k] += v
+		}
+		for k, v := range outs[split].healthy {
+			res.HealthyPerApp[k] += v
 		}
 	}
 	inv := 1 / float64(cfg.Splits)

@@ -61,6 +61,7 @@ func runLoop(p *prepared, factory ml.Factory, strategy active.Strategy, cfg Conf
 		HealthyClass: p.healthy,
 		Seed:         seed,
 		EvalEvery:    cfg.EvalEvery,
+		Workers:      cfg.Workers,
 	}
 	return loop.Run(p.tr, p.split.Initial, p.split.Pool, p.test, active.RunConfig{
 		MaxQueries: cfg.MaxQueries,

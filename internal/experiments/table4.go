@@ -110,7 +110,7 @@ func Grids(cfg Config, scale Scale, seed int64) []ModelGrid {
 						},
 						Factory: gbm.NewFactory(gbm.Config{
 							NEstimators: gbmRounds, NumLeaves: int(leaves), LearningRate: lrate,
-							MaxDepth: int(depth), ColsampleByTree: col, Seed: seed,
+							MaxDepth: int(depth), ColsampleByTree: col, Seed: seed, Workers: cfg.Workers,
 						}),
 					})
 				}
@@ -222,7 +222,9 @@ func RunTable4(cfg Config, scale Scale) (*Table4Result, error) {
 	}
 	res := &Table4Result{Config: cfg, Scale: scale}
 	for _, grid := range Grids(cfg, scale, cfg.Seed) {
-		results, err := eval.GridSearch(grid.Candidates, x, y, len(d.Classes), p.healthy, 5, cfg.Seed+3)
+		// Candidates are independent cells sharing one CV seed; the
+		// parallel search ranks them identically for any worker count.
+		results, err := eval.GridSearchParallel(grid.Candidates, x, y, len(d.Classes), p.healthy, 5, cfg.Seed+3, cfg.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: grid %s: %w", grid.Model, err)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"albadross/internal/dataset"
 	"albadross/internal/eval"
+	"albadross/internal/runner"
 )
 
 // Table5Result reproduces Table V for one dataset: with the best feature
@@ -54,39 +55,38 @@ func RunTable5(cfg Config) (*Table5Result, error) {
 		res.FeatureExtraction = BestExtractor(cfg.System)
 	}
 
-	type agg struct {
-		sum float64
-		n   int
+	// Splits are independent cells with index-derived seeds; they fan out
+	// across cfg.Workers and fold in split order afterwards, so the means
+	// sum floats in the same order the serial loop did.
+	type splitOut struct {
+		startF1, poolF1   float64
+		initial, poolSize int
+		queriesTo         map[float64]int // -1: not reached
 	}
-	reach := map[float64]*agg{}
-	for _, t := range res.Targets {
-		reach[t] = &agg{}
-	}
-	var startF1s, poolF1s []float64
-	for split := 0; split < cfg.Splits; split++ {
+	outs := make([]splitOut, cfg.Splits)
+	if err := runner.ForEach(cfg.Splits, cfg.Workers, func(split int) error {
 		alSplit, err := dataset.MakeALSplit(d, dataset.ALSplitConfig{
 			TestFraction: 0.3, AnomalyRatio: 0.10, HealthyClass: 0,
 			Seed: cfg.Seed + int64(split)*101,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.InitialSamples = len(alSplit.Initial)
-		res.PoolSize = len(alSplit.Initial) + len(alSplit.Pool)
+		o := &outs[split]
+		o.initial = len(alSplit.Initial)
+		o.poolSize = len(alSplit.Initial) + len(alSplit.Pool)
 		p, err := prepare(d, alSplit, cfg.TopK)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, err := methodRun(res.QueryStrategy, p, cfg, cfg.Seed+int64(split)*977+13, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		startF1s = append(startF1s, r.Records[0].F1)
+		o.startF1 = r.Records[0].F1
+		o.queriesTo = map[float64]int{}
 		for _, t := range res.Targets {
-			if q := r.QueriesTo(t); q >= 0 {
-				reach[t].sum += float64(len(alSplit.Initial) + q)
-				reach[t].n++
-			}
+			o.queriesTo[t] = r.QueriesTo(t)
 		}
 		// Whole-pool supervised reference: train on initial+pool with all
 		// labels revealed.
@@ -99,13 +99,39 @@ func RunTable5(cfg Config) (*Table5Result, error) {
 		}
 		m := cfg.rfFactory(cfg.Seed + int64(split))()
 		if err := m.Fit(xTr, yTr, len(d.Classes)); err != nil {
-			return nil, err
+			return err
 		}
 		rep, err := eval.EvaluateModel(m, p.test.X, p.test.Y, len(d.Classes), p.healthy)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		poolF1s = append(poolF1s, rep.MacroF1)
+		o.poolF1 = rep.MacroF1
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	type agg struct {
+		sum float64
+		n   int
+	}
+	reach := map[float64]*agg{}
+	for _, t := range res.Targets {
+		reach[t] = &agg{}
+	}
+	var startF1s, poolF1s []float64
+	for split := 0; split < cfg.Splits; split++ {
+		o := outs[split]
+		res.InitialSamples = o.initial
+		res.PoolSize = o.poolSize
+		startF1s = append(startF1s, o.startF1)
+		poolF1s = append(poolF1s, o.poolF1)
+		for _, t := range res.Targets {
+			if q := o.queriesTo[t]; q >= 0 {
+				reach[t].sum += float64(o.initial + q)
+				reach[t].n++
+			}
+		}
 	}
 	res.StartingF1 = Mean(startF1s)
 	res.PoolF1 = Mean(poolF1s)

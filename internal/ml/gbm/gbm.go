@@ -12,6 +12,7 @@ import (
 
 	"albadross/internal/ml"
 	"albadross/internal/ml/tree"
+	"albadross/internal/runner"
 )
 
 // Config are the boosting hyperparameters from Table IV.
@@ -30,6 +31,11 @@ type Config struct {
 	MinSamplesLeaf int
 	// Seed drives column subsampling and tree randomness.
 	Seed int64
+	// Workers bounds Fit's per-class parallelism (0 = GOMAXPROCS). The
+	// fitted model is bit-identical for any worker count: column subsets
+	// are drawn serially and every (row, class) logit cell receives
+	// exactly one increment per round.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -82,7 +88,51 @@ func NewFactory(cfg Config) ml.Factory {
 // NumClasses reports the fitted class count.
 func (m *Model) NumClasses() int { return m.NClasses }
 
+// classScratch is one class's per-round working set, allocated once per
+// Fit and reused every round: the gradient/Hessian targets, the fitted
+// tree's per-row predictions (applied to the logits after the round's
+// barrier), and the flat-backed projection of the feature matrix onto
+// the class's column subset. tree.Regressor.Fit retains none of its
+// inputs except the Hessian slice — which is never read after Fit — so
+// overwriting the scratch next round cannot corrupt earlier trees.
+type classScratch struct {
+	grad, hess []float64
+	preds      []float64
+	proj       [][]float64
+	projFlat   []float64
+}
+
+// project returns x restricted to cols, reusing the scratch's flat
+// backing. A nil cols means no subsampling and returns x itself.
+func (s *classScratch) project(x [][]float64, cols []int) [][]float64 {
+	if cols == nil {
+		return x
+	}
+	n, k := len(x), len(cols)
+	if cap(s.projFlat) < n*k {
+		s.projFlat = make([]float64, n*k)
+		s.proj = make([][]float64, n)
+	}
+	flat := s.projFlat[:n*k]
+	proj := s.proj[:n]
+	for i, row := range x {
+		pr := flat[i*k : (i+1)*k : (i+1)*k]
+		for o, j := range cols {
+			pr[o] = row[j]
+		}
+		proj[i] = pr
+	}
+	return proj
+}
+
 // Fit boosts NEstimators rounds of K trees on the softmax objective.
+// Within a round the K per-class regressors are independent — gradients
+// read the round-start probabilities, never the logits — so they fit
+// concurrently across Cfg.Workers. Determinism is preserved exactly:
+// column subsets are drawn serially in class order from the single rng,
+// and the deferred logit update adds each class's contribution in
+// ascending class order per row, matching the sequential implementation
+// bit for bit.
 func (m *Model) Fit(x [][]float64, y []int, nClasses int) error {
 	start := time.Now()
 	defer func() { ml.ObserveFit("gbm", time.Since(start)) }()
@@ -105,39 +155,55 @@ func (m *Model) Fit(x [][]float64, y []int, nClasses int) error {
 		m.Prior[c] = math.Log((counts[c] + 1) / float64(n+nClasses))
 	}
 
-	// Current logits per sample.
-	logits := make([][]float64, n)
+	// Current logits and round-start probabilities, flat-backed and
+	// reused across all rounds.
+	logits := ml.ProbaMatrix(n, nClasses)
 	for i := range logits {
-		logits[i] = append([]float64{}, m.Prior...)
+		copy(logits[i], m.Prior)
 	}
-	probs := make([]float64, nClasses)
-	grad := make([]float64, n)
-	hess := make([]float64, n)
+	probMat := ml.ProbaMatrix(n, nClasses)
 	kf := float64(nClasses)
+
+	scratch := make([]*classScratch, nClasses)
+	for c := range scratch {
+		scratch[c] = &classScratch{
+			grad:  make([]float64, n),
+			hess:  make([]float64, n),
+			preds: make([]float64, n),
+		}
+	}
 
 	m.Trees = make([][]treeWithCols, 0, cfg.NEstimators)
 	for round := 0; round < cfg.NEstimators; round++ {
 		roundTrees := make([]treeWithCols, nClasses)
-		// Softmax probabilities under current logits.
-		probMat := make([][]float64, n)
-		for i := range x {
-			probMat[i] = append([]float64{}, ml.Softmax(logits[i], probs)...)
+		// Softmax probabilities under the round-start logits.
+		ml.ParallelRows(n, cfg.Workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ml.Softmax(logits[i], probMat[i])
+			}
+		})
+		// Column subsets are drawn serially, class 0..K-1, so the rng
+		// stream is identical to the sequential implementation's.
+		colSets := make([][]int, nClasses)
+		for c := range colSets {
+			colSets[c] = m.drawCols(d, rng)
 		}
-		for c := 0; c < nClasses; c++ {
+		if err := runner.ForEach(nClasses, cfg.Workers, func(c int) error {
+			s := scratch[c]
 			for i := range x {
 				p := probMat[i][c]
 				target := 0.0
 				if y[i] == c {
 					target = 1
 				}
-				grad[i] = target - p
+				s.grad[i] = target - p
 				h := p * (1 - p)
 				if h < 1e-6 {
 					h = 1e-6
 				}
-				hess[i] = h
+				s.hess[i] = h
 			}
-			cols, xs := m.sampleColumns(x, d, rng)
+			xs := s.project(x, colSets[c])
 			tr := tree.NewRegressor(tree.Config{
 				MaxDepth:        cfg.MaxDepth,
 				MaxLeaves:       cfg.NumLeaves,
@@ -150,42 +216,45 @@ func (m *Model) Fit(x [][]float64, y []int, nClasses int) error {
 				//albacheck:ignore floatsafe kf = float64(nClasses) >= 1 (validated by Fit); hs is a hessian sum clamped >= 1e-6 per sample
 				return (kf - 1) / kf * gs / hs
 			})
-			if err := tr.Fit(xs, grad, hess); err != nil {
+			if err := tr.Fit(xs, s.grad, s.hess); err != nil {
 				return err
 			}
-			roundTrees[c] = treeWithCols{Tree: tr, Cols: cols}
-			for i := range x {
-				logits[i][c] += cfg.LearningRate * tr.Predict(xs[i])
+			roundTrees[c] = treeWithCols{Tree: tr, Cols: colSets[c]}
+			for i := range xs {
+				s.preds[i] = tr.Predict(xs[i])
 			}
+			return nil
+		}); err != nil {
+			return err
 		}
+		// Deferred logit update: every (row, class) cell receives exactly
+		// one increment per round, added in ascending class order.
+		ml.ParallelRows(n, cfg.Workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := logits[i]
+				for c := 0; c < nClasses; c++ {
+					row[c] += cfg.LearningRate * scratch[c].preds[i]
+				}
+			}
+		})
 		m.Trees = append(m.Trees, roundTrees)
 	}
 	return nil
 }
 
-// sampleColumns draws the per-tree feature subset. It returns the column
-// indices (nil for all) and the projected matrix (the original when no
-// sampling happens).
-func (m *Model) sampleColumns(x [][]float64, d int, rng *rand.Rand) ([]int, [][]float64) {
+// drawCols draws one tree's feature subset from the shared rng (nil for
+// all columns). Callers draw serially, in class order, to keep the rng
+// stream worker-count independent.
+func (m *Model) drawCols(d int, rng *rand.Rand) []int {
 	frac := m.Cfg.ColsampleByTree
 	if frac >= 1 {
-		return nil, x
+		return nil
 	}
 	k := int(float64(d)*frac + 0.5)
 	if k < 1 {
 		k = 1
 	}
-	perm := rng.Perm(d)[:k]
-	cols := append([]int{}, perm...)
-	xs := make([][]float64, len(x))
-	for i, row := range x {
-		pr := make([]float64, k)
-		for o, j := range cols {
-			pr[o] = row[j]
-		}
-		xs[i] = pr
-	}
-	return cols, xs
+	return append([]int{}, rng.Perm(d)[:k]...)
 }
 
 // PredictProba returns softmax class probabilities for one sample.

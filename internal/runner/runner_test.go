@@ -1,0 +1,96 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		n := 57
+		counts := make([]int32, n)
+		if err := ForEach(n, workers, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachReturnsLowestIndexError pins the error-selection contract:
+// with several failing cells, the caller sees the lowest index's error
+// regardless of which worker finished first.
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("cell 3")
+	for _, workers := range []int{1, 4, 16} {
+		var calls int32
+		err := ForEach(20, workers, func(i int) error {
+			atomic.AddInt32(&calls, 1)
+			switch i {
+			case 3:
+				return wantErr
+			case 11:
+				return fmt.Errorf("cell 11")
+			}
+			return nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("workers=%d: got %v, want the lowest failing index's error", workers, err)
+		}
+		if calls != 20 {
+			t.Fatalf("workers=%d: %d calls; every cell must run even when one fails", workers, calls)
+		}
+	}
+}
+
+// TestForEachRace hammers a shared accumulator from many workers so the
+// race detector (tier-1 runs with -race) can observe the pool's
+// synchronization.
+func TestForEachRace(t *testing.T) {
+	var sum int64
+	if err := ForEach(512, 8, func(i int) error {
+		atomic.AddInt64(&sum, int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(512 * 511 / 2); sum != want {
+		t.Fatalf("sum %d, want %d", sum, want)
+	}
+}
+
+func TestCellSeedPureAndDistinct(t *testing.T) {
+	if CellSeed(7, 1, 2) != CellSeed(7, 1, 2) {
+		t.Fatal("CellSeed is not a pure function of its arguments")
+	}
+	seen := map[int64][2]int{}
+	for a := 0; a < 40; a++ {
+		for b := 0; b < 40; b++ {
+			s := CellSeed(42, a, b)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%d,%d) and (%d,%d) both map to %d", a, b, prev[0], prev[1], s)
+			}
+			seen[s] = [2]int{a, b}
+		}
+	}
+	if CellSeed(1, 0) == CellSeed(2, 0) {
+		t.Fatal("base seed ignored")
+	}
+	if CellSeed(1, 0, 1) == CellSeed(1, 1, 0) {
+		t.Fatal("coordinate order ignored")
+	}
+}

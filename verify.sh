@@ -6,8 +6,9 @@
 #   ./verify.sh          # the standard gate
 #   ./verify.sh --deep   # additionally: fuzz smokes (CSV parser,
 #                        # stream ingest), the serving benchmark against
-#                        # BENCH_4.json, and the coverage floor gate
-#                        # against coverage_baseline.txt
+#                        # BENCH_4.json, the experiment-engine benchmark
+#                        # against BENCH_5.json, and the coverage floor
+#                        # gate against coverage_baseline.txt
 set -eu
 
 deep=0
@@ -28,7 +29,10 @@ echo "== albacheck (repo-specific static analysis; see docs/STATIC_ANALYSIS.md)"
 go run ./cmd/albacheck ./internal/... ./cmd/...
 
 echo "== go test -race ./..."
-go test -race ./...
+# 20m headroom: the experiments package runs race-enabled end-to-end
+# sweeps (golden fixture + worker-count parity) that near the default
+# 10m per-package budget on 1-CPU hosts.
+go test -race -timeout 20m ./...
 
 if [ "$deep" -eq 1 ]; then
   echo "== fuzz smoke: FuzzReadCSV (10s)"
@@ -40,6 +44,10 @@ if [ "$deep" -eq 1 ]; then
   echo "== serving benchmark vs BENCH_4.json (see docs/TESTING.md)"
   go run ./cmd/loadgen -selfcheck -duration 2s -trials 2 \
     -baseline BENCH_4.json -tolerance 0.20 -min-speedup 2.5
+
+  echo "== experiment-engine benchmark vs BENCH_5.json (see docs/TESTING.md)"
+  go run ./cmd/experiments -bench -bench-trials 2 \
+    -bench-baseline BENCH_5.json -bench-tolerance 0.20 -bench-min-speedup 2.5
 
   echo "== coverage floors vs coverage_baseline.txt"
   go test -cover ./internal/server/ ./internal/stream/ ./internal/active/ \
