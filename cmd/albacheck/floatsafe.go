@@ -30,6 +30,7 @@ var floatsafeAnalyzer = &Analyzer{
 		"albadross/internal/ml",
 		"albadross/internal/stats",
 		"albadross/internal/eval",
+		"albadross/internal/drift",
 	),
 	Run: runFloatsafe,
 }

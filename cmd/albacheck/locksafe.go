@@ -28,10 +28,24 @@ var locksafeAnalyzer = &Analyzer{
 
 // slowModelCalls are method/function names treated as model work that
 // must not run under a lock. Exact names, not prefixes, so helpers like
-// TrainTestSplit stay out of scope.
+// TrainTestSplit stay out of scope. The batch names cover shadow
+// scoring: a challenger evaluation over hundreds of duplicated rows is
+// model work whatever the method is called.
 var slowModelCalls = map[string]bool{
 	"Fit": true, "Train": true, "Retrain": true,
 	"Predict": true, "PredictProba": true, "PredictBatch": true,
+	"PredictProbaBatch": true, "ProbaBatch": true, "ProbaBatchParallel": true,
+	"EvaluateModel": true,
+}
+
+// slowRegistryCalls are model-registry persistence/promotion operations
+// banned under a held mutex: each one swaps the serving pointer or
+// rewrites lifecycle state, and holding an unrelated lock across them
+// is how promotion deadlocks with the annotation path. Same name-set
+// matching as model calls so wrappers in any package are caught.
+var slowRegistryCalls = map[string]bool{
+	"Promote": true, "Quarantine": true, "Rollback": true,
+	"SaveManifest": true, "LoadManifest": true, "WriteManifest": true,
 }
 
 // slowHTTPCalls are net/http functions and methods that perform a
@@ -171,8 +185,13 @@ func slowCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 	if f == nil {
 		// Interface methods and methods on type parameters still resolve
 		// through Selections; anything unresolved is skipped.
-		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && slowModelCalls[sel.Sel.Name] {
-			return "model call " + exprString(call.Fun), true
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if slowModelCalls[sel.Sel.Name] {
+				return "model call " + exprString(call.Fun), true
+			}
+			if slowRegistryCalls[sel.Sel.Name] {
+				return "registry op " + exprString(call.Fun), true
+			}
 		}
 		return "", false
 	}
@@ -189,6 +208,9 @@ func slowCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 	}
 	if slowModelCalls[name] {
 		return "model call " + exprString(call.Fun), true
+	}
+	if slowRegistryCalls[name] {
+		return "registry op " + exprString(call.Fun), true
 	}
 	return "", false
 }

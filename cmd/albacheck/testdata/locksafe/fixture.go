@@ -11,14 +11,22 @@ import (
 
 type model struct{}
 
-func (model) Fit(x [][]float64) error            { return nil }
-func (model) PredictProba(x []float64) []float64 { return nil }
-func (model) snapshot(x [][]float64) [][]float64 { return x }
+func (model) Fit(x [][]float64) error                     { return nil }
+func (model) PredictProba(x []float64) []float64          { return nil }
+func (model) PredictProbaBatch(x [][]float64) [][]float64 { return nil }
+func (model) snapshot(x [][]float64) [][]float64          { return x }
+
+type modelRegistry struct{}
+
+func (modelRegistry) Promote(version uint64) error              { return nil }
+func (modelRegistry) Quarantine(version uint64, r string) error { return nil }
+func (modelRegistry) Rollback(reason string) error              { return nil }
 
 type server struct {
 	mu  sync.Mutex
 	rw  sync.RWMutex
 	mdl model
+	reg modelRegistry
 }
 
 func (s *server) trainUnderLock(x [][]float64) {
@@ -63,4 +71,33 @@ func (s *server) goroutineIsSeparateScope() {
 	go func() {
 		_, _ = os.ReadFile("/etc/hosts") // ok: the literal runs on its own goroutine
 	}()
+}
+
+func (s *server) shadowScoreUnderLock(rows [][]float64) [][]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mdl.PredictProbaBatch(rows) // want "model call s.mdl.PredictProbaBatch called while s.mu is held"
+}
+
+func (s *server) promoteUnderLock(v uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.reg.Promote(v) // want "registry op s.reg.Promote called while s.mu is held"
+}
+
+func (s *server) quarantineUnderRLock(v uint64) {
+	s.rw.RLock()
+	_ = s.reg.Quarantine(v, "gate failed") // want "registry op s.reg.Quarantine called while s.rw is held"
+	s.rw.RUnlock()
+}
+
+func (s *server) decideOutsideLock(v uint64, rows [][]float64) {
+	s.mu.Lock()
+	pending := v
+	s.mu.Unlock()
+	probs := s.mdl.PredictProbaBatch(rows) // ok: scored with no lock held
+	if len(probs) > 0 {
+		_ = s.reg.Rollback("disagreement") // ok: registry op with no lock held
+	}
+	_ = pending
 }

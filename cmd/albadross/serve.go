@@ -14,6 +14,7 @@ import (
 	"albadross/internal/active"
 	"albadross/internal/core"
 	"albadross/internal/dataset"
+	"albadross/internal/drift"
 	"albadross/internal/ml/forest"
 	"albadross/internal/ml/tree"
 	"albadross/internal/server"
@@ -40,6 +41,15 @@ func serve(args []string) {
 		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (see docs/OBSERVABILITY.md)")
 		batchMax = fs.Int("batch-max", 64, "max rows per coalesced /api/diagnose inference pass (<=1 disables batching)")
 		batchWai = fs.Duration("batch-wait", 0, "extra time a forming batch waits for stragglers (0 = adaptive only)")
+
+		lifecycle = fs.Bool("lifecycle", false, "enable the drift-aware model lifecycle (see docs/LIFECYCLE.md)")
+		regKeep   = fs.Int("registry-keep", 5, "model versions retained for rollback")
+		driftWin  = fs.Int("drift-window", 512, "drift window rows")
+		driftPSI  = fs.Float64("drift-psi", 0.2, "per-feature PSI threshold")
+		driftFrac = fs.Float64("drift-fraction", 0.25, "drifted-feature fraction that triggers retraining")
+		shadowRow = fs.Int("shadow-rows", 256, "duplicated rows before the promotion decision")
+		minAgree  = fs.Float64("min-agreement", 0.85, "champion-agreement floor for promotion")
+		cooldown  = fs.Duration("trigger-cooldown", 30*time.Second, "min spacing between drift triggers")
 	)
 	fs.Parse(args)
 	if *dataFile == "" {
@@ -80,6 +90,17 @@ func serve(args []string) {
 		BatchMaxSize: *batchMax,
 		BatchMaxWait: *batchWai,
 		Prep:         prep,
+		Lifecycle:    *lifecycle,
+		RegistryKeep: *regKeep,
+		Drift: drift.Config{
+			Window:          *driftWin,
+			PSIThreshold:    *driftPSI,
+			TriggerFraction: *driftFrac,
+			Seed:            *seed + 13,
+		},
+		ShadowMinRows:   *shadowRow,
+		MinAgreement:    *minAgree,
+		TriggerCooldown: *cooldown,
 	})
 	if err != nil {
 		fatal(err)

@@ -10,7 +10,8 @@
 // Artifacts: table4, table5, fig3, fig4, fig5, fig6, fig7, fig8,
 // ablation (the Sec. IV-E-1 feature-budget sweep), extensions (custom
 // query strategies vs the paper's best), chaos (the telemetry
-// fault-injection robustness matrix), or all.
+// fault-injection robustness matrix), lifecycle (the drift-aware
+// model-lifecycle chaos scenario), or all.
 // Figures 3/4/6/7/8 default to the Volta dataset and fig5 to Eclipse,
 // matching the paper; tables run on the system given by -system.
 package main
@@ -77,6 +78,9 @@ func artifacts() []artifact {
 		}},
 		{"chaos", "volta", func(cfg experiments.Config, sc experiments.Scale) (summarizer, error) {
 			return experiments.RunChaosMatrix(cfg, experiments.ChaosDefaults(sc))
+		}},
+		{"lifecycle", "volta", func(cfg experiments.Config, sc experiments.Scale) (summarizer, error) {
+			return experiments.RunLifecycle(cfg, experiments.LifecycleDefaults(sc))
 		}},
 	}
 }

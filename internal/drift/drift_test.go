@@ -1,0 +1,237 @@
+package drift
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// genRows draws n rows of d gaussian features with the given per-column
+// mean offsets.
+func genRows(rng *rand.Rand, n, d int, shift []float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, d)
+		for f := range row {
+			row[f] = rng.NormFloat64()
+			if shift != nil {
+				row[f] += shift[f]
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestNoDriftOnSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := genRows(rng, 800, 4, nil)
+	m, err := NewMonitor(ref, Config{Window: 256, MinWindow: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveBatch(genRows(rng, 256, 4, nil))
+	st := m.Snapshot()
+	if !st.Ready {
+		t.Fatalf("window filled yet not ready: %+v", st)
+	}
+	if st.Drifted {
+		t.Fatalf("same-distribution traffic flagged as drift: %+v", st)
+	}
+	if st.MaxPSI > 0.15 {
+		t.Fatalf("max PSI %.3f suspiciously high for identical distributions", st.MaxPSI)
+	}
+}
+
+func TestDetectsShiftedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := genRows(rng, 800, 4, nil)
+	m, err := NewMonitor(ref, Config{Window: 256, MinWindow: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift every feature by 3 sigma: unambiguous drift.
+	m.ObserveBatch(genRows(rng, 256, 4, []float64{3, 3, 3, 3}))
+	st := m.Snapshot()
+	if !st.Drifted {
+		t.Fatalf("3-sigma shift on all features not flagged: %+v", st)
+	}
+	if st.DriftedFeatures != 4 {
+		t.Fatalf("drifted features = %d, want 4", st.DriftedFeatures)
+	}
+	if st.MaxPSI < 0.5 || st.MaxKS < 0.5 {
+		t.Fatalf("scores too small for a 3-sigma shift: %+v", st)
+	}
+	if len(st.Top) == 0 || st.Top[0].PSI < st.Top[len(st.Top)-1].PSI {
+		t.Fatalf("top features not sorted by PSI: %+v", st.Top)
+	}
+}
+
+func TestPartialDriftRespectsTriggerFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := genRows(rng, 800, 4, nil)
+	m, err := NewMonitor(ref, Config{Window: 256, MinWindow: 64, TriggerFraction: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one of four features shifts: 25% < the 50% trigger.
+	m.ObserveBatch(genRows(rng, 256, 4, []float64{3, 0, 0, 0}))
+	st := m.Snapshot()
+	if st.DriftedFeatures != 1 {
+		t.Fatalf("drifted features = %d, want 1", st.DriftedFeatures)
+	}
+	if st.Drifted {
+		t.Fatalf("1/4 drifted features tripped a 0.5 trigger: %+v", st)
+	}
+}
+
+func TestNotReadyBeforeMinWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := genRows(rng, 200, 2, nil)
+	m, err := NewMonitor(ref, Config{Window: 128, MinWindow: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveBatch(genRows(rng, 63, 2, []float64{5, 5}))
+	st := m.Snapshot()
+	if st.Ready || st.Drifted {
+		t.Fatalf("under-filled window reported ready/drifted: %+v", st)
+	}
+	m.Observe(genRows(rng, 1, 2, []float64{5, 5})[0])
+	if st = m.Snapshot(); !st.Ready {
+		t.Fatalf("window at MinWindow still not ready: %+v", st)
+	}
+}
+
+func TestWindowEvictsOldRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := genRows(rng, 400, 2, nil)
+	m, err := NewMonitor(ref, Config{Window: 128, MinWindow: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill with shifted rows, then overwrite the whole window with
+	// in-distribution rows: drift must clear.
+	m.ObserveBatch(genRows(rng, 128, 2, []float64{4, 4}))
+	if st := m.Snapshot(); !st.Drifted {
+		t.Fatalf("shifted fill not drifted: %+v", st)
+	}
+	m.ObserveBatch(genRows(rng, 128, 2, nil))
+	st := m.Snapshot()
+	if st.Drifted {
+		t.Fatalf("drift persists after window turned over: %+v", st)
+	}
+	if st.WindowFill != 128 {
+		t.Fatalf("window fill = %d, want 128", st.WindowFill)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	build := func() Status {
+		rng := rand.New(rand.NewSource(6))
+		ref := genRows(rng, 2000, 3, nil) // > ReservoirSize: exercises sampling
+		m, err := NewMonitor(ref, Config{Window: 128, MinWindow: 32, ReservoirSize: 256, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.ObserveBatch(genRows(rng, 128, 3, []float64{1, 0, 2}))
+		return m.Snapshot()
+	}
+	a, b := build(), build()
+	if a.MaxPSI != b.MaxPSI || a.MaxKS != b.MaxKS || a.DriftedFeatures != b.DriftedFeatures { //albacheck:ignore floatsafe determinism test requires bit-exact equality
+		t.Fatalf("non-deterministic snapshots:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestConstantFeatureIsQuiet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ref := make([][]float64, 300)
+	for i := range ref {
+		ref[i] = []float64{1.5, rng.NormFloat64()}
+	}
+	m, err := NewMonitor(ref, Config{Window: 64, MinWindow: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		m.Observe([]float64{1.5, rng.NormFloat64()})
+	}
+	st := m.Snapshot()
+	if st.Drifted || st.DriftedFeatures != 0 {
+		t.Fatalf("constant feature produced drift: %+v", st)
+	}
+}
+
+func TestNaNRowsAreSkippedPerFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ref := genRows(rng, 300, 2, nil)
+	m, err := NewMonitor(ref, Config{Window: 64, MinWindow: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		m.Observe([]float64{math.NaN(), rng.NormFloat64()})
+	}
+	st := m.Snapshot()
+	if !st.Ready {
+		t.Fatalf("NaN feature blocked readiness: %+v", st)
+	}
+	if st.Drifted {
+		t.Fatalf("NaN feature produced drift: %+v", st)
+	}
+	// Wrong-width rows are ignored entirely.
+	before := m.Snapshot().Rows
+	m.Observe([]float64{1})
+	if got := m.Snapshot().Rows; got != before {
+		t.Fatalf("wrong-width row counted: %d -> %d", before, got)
+	}
+}
+
+func TestResetReanchorsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ref := genRows(rng, 400, 2, nil)
+	m, err := NewMonitor(ref, Config{Window: 64, MinWindow: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := genRows(rng, 400, 2, []float64{3, 3})
+	m.ObserveBatch(shifted[:64])
+	if st := m.Snapshot(); !st.Drifted {
+		t.Fatalf("precondition: shifted traffic should drift: %+v", st)
+	}
+	// Re-anchor to the shifted distribution (as after retraining on it):
+	// the same traffic is now in-distribution, and the window restarts.
+	if err := m.Reset(shifted); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Snapshot()
+	if st.Ready || st.WindowFill != 0 {
+		t.Fatalf("window not cleared by Reset: %+v", st)
+	}
+	if st.Resets != 1 {
+		t.Fatalf("resets = %d, want 1", st.Resets)
+	}
+	m.ObserveBatch(shifted[64:128])
+	if st = m.Snapshot(); st.Drifted {
+		t.Fatalf("re-anchored reference still drifts on its own data: %+v", st)
+	}
+	// Width mismatch and empty refs are rejected.
+	if err := m.Reset([][]float64{{1}}); err == nil {
+		t.Fatal("width-mismatched Reset should error")
+	}
+	if err := m.Reset(nil); err == nil {
+		t.Fatal("empty Reset should error")
+	}
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(nil, Config{}); err == nil {
+		t.Fatal("empty reference should error")
+	}
+	if _, err := NewMonitor([][]float64{{}}, Config{}); err == nil {
+		t.Fatal("zero-width reference should error")
+	}
+	if _, err := NewMonitor([][]float64{{1, 2}, {1}}, Config{}); err == nil {
+		t.Fatal("ragged reference should error")
+	}
+}

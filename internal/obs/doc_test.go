@@ -15,10 +15,12 @@ import (
 	// Imported for their metric-registration side effects: each package
 	// registers its families on obs.Default() at init.
 	_ "albadross/internal/active"
+	_ "albadross/internal/drift"
 	_ "albadross/internal/features"
 	_ "albadross/internal/ldms"
 	_ "albadross/internal/ml"
 	_ "albadross/internal/ml/forest"
+	_ "albadross/internal/registry"
 	_ "albadross/internal/server"
 	_ "albadross/internal/stream"
 )

@@ -242,7 +242,7 @@ var rowsPool = sync.Pool{
 // exactly one result; per-job validation failures never fail the rest
 // of the batch.
 func (s *Server) process(batch []*job) {
-	sn := s.snap.Load()
+	sn := s.serving()
 	if sn == nil {
 		for _, j := range batch {
 			j.deliver(jobResult{err: errors.New("no model trained yet")})
@@ -313,6 +313,14 @@ func (s *Server) process(batch []*job) {
 	var probs [][]float64
 	if len(rows) > 0 {
 		probs = ml.ProbaBatchParallel(sn.model, rows, s.cfg.BatchWorkers)
+	}
+	// Lifecycle tap: duplicate the classified rows to the drift monitor
+	// and any shadowed challenger. offer copies the outer slice (the
+	// row vectors are request- or pass-owned and never reused) and does
+	// one non-blocking channel send — overflow is shed, so this can
+	// never slow the champion's pass.
+	if s.lc != nil && len(rows) > 0 {
+		s.lc.offer(rows, probs, sn)
 	}
 	rowsPool.Put(rows[:0]) //nolint:staticcheck // slice header reuse is the point
 

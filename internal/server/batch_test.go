@@ -243,8 +243,8 @@ func TestDiagnoseDuringRetrainSwaps(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
-	if srv.swaps.Load() < 2 {
-		t.Fatalf("only %d snapshot swaps during the hammer; retrains did not publish", srv.swaps.Load())
+	if sn := srv.serving(); sn == nil || sn.version < 2 {
+		t.Fatalf("serving snapshot %+v after the hammer; retrains did not publish", sn)
 	}
 }
 

@@ -76,6 +76,54 @@ var (
 		Help: "Monotonic version of the model snapshot currently serving.",
 		Unit: "version",
 	})
+
+	// Lifecycle metrics (Config.Lifecycle): drift-triggered retraining,
+	// shadow champion–challenger evaluation, and rollback.
+	shadowRows = obs.NewCounter(obs.Opts{
+		Name: "shadow_rows_total",
+		Help: "Duplicated feature rows scored by a shadowed challenger.",
+		Unit: "rows",
+	})
+	shadowShed = obs.NewCounter(obs.Opts{
+		Name: "shadow_shed_total",
+		Help: "Duplicated batches dropped because the shadow queue was full.",
+		Unit: "batches",
+	})
+	shadowQueueDepth = obs.NewGauge(obs.Opts{
+		Name: "shadow_queue_depth",
+		Help: "Duplicated batches waiting in the shadow queue at last sample.",
+		Unit: "batches",
+	})
+	shadowAgreement = obs.NewGauge(obs.Opts{
+		Name: "shadow_agreement",
+		Help: "Running challenger-vs-champion agreement over the current trial.",
+		Unit: "ratio",
+	})
+	promotionsTotal = obs.NewCounter(obs.Opts{
+		Name: "lifecycle_promotions_total",
+		Help: "Challengers promoted to champion after passing the shadow gate.",
+		Unit: "promotions",
+	})
+	quarantinesTotal = obs.NewCounter(obs.Opts{
+		Name: "lifecycle_quarantines_total",
+		Help: "Challengers quarantined by the shadow gate or its deadline.",
+		Unit: "quarantines",
+	})
+	rollbacksTotal = obs.NewCounter(obs.Opts{
+		Name: "lifecycle_rollbacks_total",
+		Help: "Operator or automatic rollbacks to a previous model version.",
+		Unit: "rollbacks",
+	})
+	driftTriggers = obs.NewCounter(obs.Opts{
+		Name: "lifecycle_drift_triggers_total",
+		Help: "Retrains triggered by the drift monitor clearing its threshold.",
+		Unit: "triggers",
+	})
+	lastPublish = obs.NewGauge(obs.Opts{
+		Name: "lifecycle_last_publish_timestamp_seconds",
+		Help: "Unix time of the last successful model publication (promotion or rollback).",
+		Unit: "seconds",
+	})
 )
 
 // statusWriter captures the status code a handler writes.

@@ -15,6 +15,7 @@ import (
 	"albadross/internal/dataset"
 	"albadross/internal/ml"
 	"albadross/internal/ml/forest"
+	"albadross/internal/registry"
 )
 
 func TestHealthEndpoint(t *testing.T) {
@@ -48,7 +49,7 @@ func TestHealthEndpoint(t *testing.T) {
 	}
 
 	// A server whose model is gone reports not-ready with 503.
-	srv.snap.Store(nil)
+	srv.reg = registry.New[*snapshot](2)
 	resp, err = http.Get(ts.URL + "/api/health")
 	if err != nil {
 		t.Fatal(err)
@@ -249,7 +250,7 @@ func TestRetrainRetriesTransientFailures(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New should survive 2 transient failures with 2 retries: %v", err)
 	}
-	if srv.snap.Load() == nil {
+	if srv.serving() == nil {
 		t.Fatal("no model after retried training")
 	}
 

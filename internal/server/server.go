@@ -45,11 +45,13 @@ import (
 	"albadross/internal/active"
 	"albadross/internal/core"
 	"albadross/internal/dataset"
+	"albadross/internal/drift"
 	"albadross/internal/eval"
 	"albadross/internal/explain"
 	"albadross/internal/features"
 	"albadross/internal/ml"
 	"albadross/internal/obs"
+	"albadross/internal/registry"
 	"albadross/internal/telemetry"
 )
 
@@ -110,6 +112,41 @@ type Config struct {
 	// Required for window-mode when the model was trained on
 	// transformed vectors.
 	Prep *core.Preprocessor
+
+	// Lifecycle enables the drift-aware model lifecycle (see
+	// docs/LIFECYCLE.md): a streaming drift monitor over served feature
+	// vectors, drift-triggered retraining vetted by shadow
+	// champion–challenger evaluation, and operator rollback via
+	// POST /api/model/rollback. Off by default: the plain label-driven
+	// publish path is unchanged.
+	Lifecycle bool
+	// Drift tunes the drift monitor (zero values take the drift
+	// package's documented defaults).
+	Drift drift.Config
+	// RegistryKeep bounds how many model versions the registry retains
+	// for rollback (default 5, minimum 2).
+	RegistryKeep int
+	// ShadowMinRows is how many duplicated rows a challenger must score
+	// before its promotion decision (default 256).
+	ShadowMinRows int
+	// ShadowQueue bounds the shadow-scoring queue; duplicated batches
+	// beyond it are shed so shadowing can never slow the champion
+	// (default 64 batches).
+	ShadowQueue int
+	// MinAgreement is the promotion gate's champion-agreement floor
+	// (default 0.85).
+	MinAgreement float64
+	// F1Tolerance is how far below the champion's holdout macro-F1 a
+	// challenger may score and still promote (default 0.02).
+	F1Tolerance float64
+	// TriggerCooldown is the minimum spacing between drift-triggered
+	// retrains; it doubles each time a challenger is quarantined
+	// (capped at 32x) and resets on promotion (default 30s).
+	TriggerCooldown time.Duration
+	// ShadowMaxWait bounds how long a challenger may wait for
+	// ShadowMinRows of traffic before being quarantined for
+	// insufficient evidence (default 60s).
+	ShadowMaxWait time.Duration
 }
 
 // snapshot is the immutable serving state behind the RCU pointer: one
@@ -122,15 +159,21 @@ type snapshot struct {
 	classes []string
 	dim     int      // model-space input width
 	names   []string // feature schema (may be nil)
-	version uint64   // monotonically increasing swap count
+	version uint64   // registry-assigned monotonic version
 }
 
 // Server is the annotation service. Create with New, mount via Handler.
 type Server struct {
-	cfg   Config
-	snap  atomic.Pointer[snapshot]
-	swaps atomic.Uint64
-	batch *batcher
+	cfg       Config
+	reg       *registry.Registry[*snapshot]
+	batch     *batcher
+	lc        *lifecycle   // nil unless Config.Lifecycle
+	lastTrain atomic.Int64 // unix seconds of the last successful publication
+
+	// refX is the drift monitor's reference: the training universe
+	// (initial labels plus the unlabeled pool — the union is invariant
+	// as annotation moves samples between the two). Immutable after New.
+	refX [][]float64
 
 	mu      sync.Mutex
 	labeled []int
@@ -140,6 +183,18 @@ type Server struct {
 	pending int // dataset index offered by /api/next; -1 when none
 	history []StatusPoint
 	started time.Time
+
+	jitterMu  sync.Mutex
+	jitterRng *rand.Rand // seeded source for retry-backoff jitter
+}
+
+// serving returns the payload of the active registry entry — the
+// snapshot the diagnose hot path reads. Lock-free (one atomic load).
+func (s *Server) serving() *snapshot {
+	if e := s.reg.Active(); e != nil {
+		return e.Payload
+	}
+	return nil
 }
 
 // StatusPoint is one trajectory entry exposed by /api/status.
@@ -174,14 +229,37 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Schema != nil && cfg.Extractor == nil {
 		return nil, errors.New("server: Schema requires an Extractor")
 	}
+	if cfg.RegistryKeep <= 0 {
+		cfg.RegistryKeep = 5
+	}
+	if cfg.ShadowMinRows <= 0 {
+		cfg.ShadowMinRows = 256
+	}
+	if cfg.ShadowQueue <= 0 {
+		cfg.ShadowQueue = 64
+	}
+	if cfg.MinAgreement <= 0 {
+		cfg.MinAgreement = 0.85
+	}
+	if cfg.F1Tolerance <= 0 {
+		cfg.F1Tolerance = 0.02
+	}
+	if cfg.TriggerCooldown <= 0 {
+		cfg.TriggerCooldown = 30 * time.Second
+	}
+	if cfg.ShadowMaxWait <= 0 {
+		cfg.ShadowMaxWait = 60 * time.Second
+	}
 	s := &Server{
-		cfg:     cfg,
-		labeled: append([]int{}, cfg.Split.Initial...),
-		pool:    append([]int{}, cfg.Split.Pool...),
-		yOf:     map[int]int{},
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		pending: -1,
-		started: time.Now(),
+		cfg:       cfg,
+		reg:       registry.New[*snapshot](cfg.RegistryKeep),
+		labeled:   append([]int{}, cfg.Split.Initial...),
+		pool:      append([]int{}, cfg.Split.Pool...),
+		yOf:       map[int]int{},
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		pending:   -1,
+		started:   time.Now(),
+		jitterRng: rand.New(rand.NewSource(cfg.Seed + jitterSeedOffset)),
 	}
 	for _, i := range s.labeled {
 		s.yOf[i] = cfg.Data.Y[i]
@@ -191,38 +269,90 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.publish(m)
+	s.publish(m, x, y, "initial")
 	s.score()
 	if cfg.BatchMaxSize > 1 {
 		s.batch = newBatcher(s, cfg.BatchMaxSize, cfg.BatchMaxWait)
 	}
+	if cfg.Lifecycle {
+		// The drift reference is the whole training universe, not just
+		// the labeled rows: the AL initial set is anomalies-only by
+		// construction, and anchoring to it would make ordinary
+		// (mostly-healthy) traffic read as permanently drifted.
+		s.refX = make([][]float64, 0, len(s.labeled)+len(s.pool))
+		for _, i := range s.labeled {
+			s.refX = append(s.refX, cfg.Data.X[i])
+		}
+		for _, i := range s.pool {
+			s.refX = append(s.refX, cfg.Data.X[i])
+		}
+		lc, err := newLifecycle(s, s.refX)
+		if err != nil {
+			return nil, err
+		}
+		s.lc = lc
+	}
 	return s, nil
 }
 
-// Close stops the batching layer. In-flight coalesced requests are
-// drained and answered; later /api/diagnose calls fall back to the
-// direct per-request path, so Close never fails a client. Safe to call
-// more than once.
+// Close stops the batching and shadow-scoring layers. In-flight
+// coalesced requests are drained and answered; later /api/diagnose
+// calls fall back to the direct per-request path, so Close never fails
+// a client. Safe to call more than once.
 func (s *Server) Close() {
 	if s.batch != nil {
 		s.batch.close()
 	}
+	if s.lc != nil {
+		s.lc.close()
+	}
 }
 
-// publish swaps a freshly trained model in as the current serving
-// snapshot. Readers that loaded the previous snapshot keep using it for
-// the requests they already started (RCU semantics).
-func (s *Server) publish(m ml.Classifier) {
-	sn := &snapshot{
+// publish registers a freshly trained model as a new registry version
+// and promotes it immediately — the direct path used by initial
+// training, annotation retrains and forced Retrain, where the new model
+// is by construction the best available. Readers that loaded the
+// previous snapshot keep using it for the requests they already started
+// (RCU semantics). Drift-triggered candidates do NOT take this path:
+// they go through the shadow champion–challenger gate (lifecycle.go).
+func (s *Server) publish(m ml.Classifier, x [][]float64, y []int, origin string) {
+	e := s.reg.Add(func(version uint64) *snapshot {
+		return s.newSnapshot(m, version)
+	}, registry.Meta{TrainHash: hashTraining(x, y), TrainSize: len(x), Origin: origin})
+	if err := s.reg.Promote(e.Version); err != nil {
+		// Unreachable: a just-added candidate always promotes.
+		s.cfg.Log.Printf("server: promoting version %d: %v", e.Version, err)
+		return
+	}
+	s.afterSwap(e.Payload)
+}
+
+// newSnapshot assembles the immutable serving state for one model.
+func (s *Server) newSnapshot(m ml.Classifier, version uint64) *snapshot {
+	return &snapshot{
 		model:   m,
 		classes: s.cfg.Data.Classes,
 		dim:     s.cfg.Data.Dim(),
 		names:   s.cfg.FeatureNames,
-		version: s.swaps.Add(1),
+		version: version,
 	}
-	s.snap.Store(sn)
+}
+
+// afterSwap records a serving-pointer change (promotion or rollback):
+// metrics, the health probe's retrain timestamp, and — when the
+// lifecycle is on — re-anchoring the drift monitor so the new champion
+// starts with a clean window judged against the training universe.
+func (s *Server) afterSwap(sn *snapshot) {
 	snapshotSwaps.Inc()
 	modelVersion.Set(float64(sn.version))
+	now := time.Now().Unix()
+	s.lastTrain.Store(now)
+	lastPublish.Set(float64(now))
+	if s.lc != nil && s.refX != nil {
+		if err := s.lc.monitor.Reset(s.refX); err != nil {
+			s.cfg.Log.Printf("server: re-anchoring drift monitor: %v", err)
+		}
+	}
 }
 
 // Retrain retrains on the current labeled set and atomically swaps the
@@ -237,7 +367,7 @@ func (s *Server) Retrain() error {
 	if err != nil {
 		return err
 	}
-	s.publish(m)
+	s.publish(m, x, y, "operator")
 	return nil
 }
 
@@ -253,10 +383,27 @@ func (s *Server) snapshotTraining() ([][]float64, []int) {
 	return x, y
 }
 
+// jitterSeedOffset decorrelates the backoff-jitter stream from
+// Config.Seed's other consumers (strategy randomness) without needing a
+// second config knob.
+const jitterSeedOffset = 1007
+
+// nextRetryDelay jitters one backoff step into [base/2, 3*base/2) with
+// the server's seeded jitter source: many servers (or many concurrent
+// label retrains) backing off from the same failure no longer wake in
+// lockstep and thundering-herd the CPU, and a fixed Config.Seed still
+// pins the exact schedule for tests.
+func (s *Server) nextRetryDelay(base time.Duration) time.Duration {
+	s.jitterMu.Lock()
+	defer s.jitterMu.Unlock()
+	return base/2 + time.Duration(s.jitterRng.Int63n(int64(base)))
+}
+
 // trainCandidate fits a fresh model on a training snapshot, retrying
-// transient failures with doubling backoff. It holds no locks — the
-// previous model keeps serving (and /api/health keeps answering) while
-// retries back off; the caller swaps the candidate in under mu.
+// transient failures with doubling, seeded-jittered backoff. It holds
+// no locks — the previous model keeps serving (and /api/health keeps
+// answering) while retries back off; the caller swaps the candidate in
+// under mu.
 func (s *Server) trainCandidate(x [][]float64, y []int) (ml.Classifier, error) {
 	var err error
 	backoff := s.cfg.RetrainBackoff
@@ -264,8 +411,9 @@ func (s *Server) trainCandidate(x [][]float64, y []int) (ml.Classifier, error) {
 	for attempt := 0; attempt <= s.cfg.RetrainRetries; attempt++ {
 		if attempt > 0 {
 			s.cfg.Log.Printf("server: retraining attempt %d after error: %v", attempt+1, err)
-			retrainBackoff.Set(backoff.Seconds())
-			time.Sleep(backoff)
+			delay := s.nextRetryDelay(backoff)
+			retrainBackoff.Set(delay.Seconds())
+			time.Sleep(delay)
 			backoff *= 2
 		}
 		retrainAttempts.Inc()
@@ -283,7 +431,7 @@ func (s *Server) trainCandidate(x [][]float64, y []int) (ml.Classifier, error) {
 // score evaluates on the split's test set and appends to the history.
 func (s *Server) score() {
 	test := s.cfg.Split.Test
-	sn := s.snap.Load()
+	sn := s.serving()
 	if len(test) == 0 || sn == nil {
 		return
 	}
@@ -385,6 +533,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/diagnose", s.instrument("/api/diagnose", s.handleDiagnose))
 	mux.HandleFunc("/api/schema", s.instrument("/api/schema", s.handleSchema))
 	mux.HandleFunc("/api/health", s.instrument("/api/health", s.handleHealth))
+	mux.HandleFunc("/api/model", s.instrument("/api/model", s.handleModel))
+	mux.HandleFunc("/api/model/rollback", s.instrument("/api/model/rollback", s.handleRollback))
 	mux.HandleFunc("/api/metrics", s.instrument("/api/metrics", obs.Handler(obs.Default()).ServeHTTP))
 	mux.HandleFunc("/", s.instrument("/", s.handleIndex))
 	if s.cfg.EnablePprof {
@@ -426,7 +576,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	sn := s.snap.Load()
+	sn := s.serving()
 	if sn == nil {
 		writeErr(w, http.StatusServiceUnavailable, errors.New("no model trained yet"))
 		return
@@ -538,7 +688,7 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.publish(m)
+	s.publish(m, x, y, "label")
 	s.score()
 	writeJSON(w, http.StatusOK, LabelResponse{
 		Accepted: true,
@@ -632,7 +782,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	sn := s.snap.Load()
+	sn := s.serving()
 	if sn == nil {
 		writeErr(w, http.StatusServiceUnavailable, errors.New("no model trained yet"))
 		return
@@ -651,13 +801,16 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealth is the liveness/readiness probe: cheap, lock-scoped
-// state only, suitable for load-balancer checks.
+// state only, suitable for load-balancer checks. With the lifecycle on
+// it additionally distinguishes "serving a stale champion under drift"
+// from "healthy": probes get the drift trigger state, the time since
+// the last successful retrain, and the challenger/quarantine state.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	sn := s.snap.Load()
+	sn := s.serving()
 	ready := sn != nil && sn.model != nil
 	s.mu.Lock()
 	labeled, pool := len(s.labeled), len(s.pool)
@@ -673,7 +826,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		version = sn.version
 		dim = sn.dim
 	}
-	writeJSON(w, code, map[string]interface{}{
+	body := map[string]interface{}{
 		"status":        status,
 		"ready":         ready,
 		"labeled":       labeled,
@@ -681,7 +834,22 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"uptime_s":      int(time.Since(s.started).Seconds()),
 		"model_version": version,
 		"feature_dim":   dim,
-	})
+	}
+	if last := s.lastTrain.Load(); last > 0 {
+		body["since_last_retrain_s"] = int(time.Now().Unix() - last)
+	}
+	if s.lc != nil {
+		st := s.lc.monitor.Snapshot()
+		body["drift_ready"] = st.Ready
+		body["drifted"] = st.Drifted
+		body["drifted_fraction"] = st.DriftedFraction
+		body["challenger"] = s.lc.challengerState()
+		body["quarantines"] = s.lc.quarantines.Load()
+		if ready && st.Drifted {
+			body["status"] = "drifted" // still serving, but the champion is stale
+		}
+	}
+	writeJSON(w, code, body)
 }
 
 // handleIndex serves the built-in single-page dashboard.

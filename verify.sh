@@ -34,6 +34,11 @@ echo "== go test -race ./..."
 # 10m per-package budget on 1-CPU hosts.
 go test -race -timeout 20m ./...
 
+echo "== lifecycle chaos scenario (drift trigger, quarantine, rollback; see docs/LIFECYCLE.md)"
+# Every phase invariant is asserted in-process; a violation exits
+# non-zero. LIFECYCLE_OUT (used by CI) writes the phase table as CSV.
+go run ./cmd/experiments -run lifecycle -scale tiny ${LIFECYCLE_OUT:+-out "$LIFECYCLE_OUT"}
+
 if [ "$deep" -eq 1 ]; then
   echo "== fuzz smoke: FuzzReadCSV (10s)"
   go test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/ldms/
