@@ -30,3 +30,13 @@ func (Documented) Exposed() {} // want "exported method Documented.Exposed has n
 type hidden struct{}
 
 func (hidden) Exported() {} // ok: method on an unexported type
+
+// RollingExtractor mirrors the incremental stream-extractor surface
+// (internal/features/rolling): push/evict methods are API like any
+// other and each needs its own doc comment.
+type RollingExtractor struct{}
+
+// Push folds one sample into the ring buffer.
+func (RollingExtractor) Push(v float64) {}
+
+func (RollingExtractor) Features(dst []float64) []float64 { return dst } // want "exported method RollingExtractor.Features has no doc comment"

@@ -105,10 +105,27 @@ func main() {
 		benchTol   = flag.Float64("bench-tolerance", 0.20, "allowed fractional regression vs the baseline")
 		benchSpeed = flag.Float64("bench-min-speedup", 2.5, "required sweep speedup at full parallelism (scaled down on hosts with fewer cores)")
 		benchTry   = flag.Int("bench-trials", 1, "trials per sweep configuration; best is reported")
+
+		bench7      = flag.Bool("bench7", false, "run the raw-speed benchmark (BENCH_7.json): flat SoA batch inference, rolling stream features")
+		bench7Out   = flag.String("bench7-out", "", "write the raw-speed report (BENCH_7.json) here")
+		bench7Base  = flag.String("bench7-baseline", "", "compare the raw-speed report against this committed baseline")
+		bench7Speed = flag.Float64("bench7-min-speedup", 3.0, "required forest flat-vs-pointer batch speedup (same-run ratio)")
+		markdown    = flag.Bool("markdown", false, "print the BENCH_4 -> BENCH_7 performance-trajectory table (README format); reads committed BENCH_*.json from the working directory, or the fresh report with -bench7")
 	)
 	flag.Parse()
+	if *bench7 {
+		runBench7(*bench7Out, *bench7Base, *benchTol, *bench7Speed, *benchTry, *seed, *markdown)
+		return
+	}
 	if *bench {
 		runBench(*benchOut, *benchBase, *benchTol, *benchSpeed, *benchTry, *seed, *workers)
+		if *markdown {
+			printTrajectory(nil)
+		}
+		return
+	}
+	if *markdown {
+		printTrajectory(nil)
 		return
 	}
 	if *runFlag == "" {
@@ -228,6 +245,71 @@ func runBench(out, baseline string, tolerance, minSpeedup float64, trials int, s
 	if out == "" && baseline == "" {
 		fmt.Println(string(raw))
 	}
+}
+
+// runBench7 runs the raw-speed benchmark (committed as BENCH_7.json;
+// verify.sh --deep runs the comparison form).
+func runBench7(out, baseline string, tolerance, minSpeedup float64, trials int, seed int64, markdown bool) {
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	}
+	report, err := experiments.RunBench7(experiments.Bench7Config{
+		Trials: trials,
+		Seed:   seed,
+	}, runtime.GOMAXPROCS(0), logf)
+	if err != nil {
+		fatal(err)
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if out != "" {
+		if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		logf("wrote %s", out)
+	}
+	if baseline != "" {
+		base, err := experiments.LoadBench7(baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if bad := experiments.CompareBench7(report, base, tolerance, minSpeedup); len(bad) > 0 {
+			for _, b := range bad {
+				fmt.Fprintln(os.Stderr, "experiments: FAIL:", b)
+			}
+			os.Exit(1)
+		}
+		logf("forest flat batch %.2fx (floor %.2fx), gbm %.2fx, rolling max err %.2e, stream %.2fx (gomaxprocs %d)",
+			report.Forest.Speedup, minSpeedup, report.GBM.Speedup,
+			report.Rolling.MaxRelErr, report.Stream.Speedup, report.GoMaxProcs)
+	}
+	if markdown {
+		printTrajectory(report)
+		return
+	}
+	if out == "" && baseline == "" {
+		fmt.Println(string(raw))
+	}
+}
+
+// printTrajectory renders the README performance-trajectory table from
+// the committed BENCH_4.json plus either a fresh BENCH_7 report or the
+// committed BENCH_7.json in the working directory.
+func printTrajectory(fresh *experiments.Bench7Report) {
+	if fresh == nil {
+		loaded, err := experiments.LoadBench7("BENCH_7.json")
+		if err != nil {
+			fatal(fmt.Errorf("trajectory table needs BENCH_7.json in the working directory (or -bench7): %w", err))
+		}
+		fresh = loaded
+	}
+	table, err := experiments.TrajectoryMarkdown("BENCH_4.json", fresh)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(table)
 }
 
 func fatal(err error) {

@@ -5,6 +5,14 @@
 // the query trajectory, and diagnoses fresh telemetry through the online
 // path — the minimal end-to-end tour of the public API.
 //
+// For continuous diagnosis at ingest rates see examples/stream_replay;
+// at fleet scale, train with features/rolling and set
+// stream.Config.Rolling, which swaps per-window recomputation for
+// incremental push/evict updates. Healthy throughput on one CPU is
+// roughly 35-45k 16-metric readings/s (window 32, stride 8) — the
+// committed BENCH_7.json and docs/PERFORMANCE.md record the reference
+// numbers.
+//
 //	go run ./examples/quickstart
 package main
 

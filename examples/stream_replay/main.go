@@ -89,6 +89,10 @@ func main() {
 			}
 			return d.Label, d.Confidence, nil
 		},
+		// The extractor must match the one the model was trained with.
+		// For fleet-scale ingest, train with features/rolling instead and
+		// set Rolling: true to use incremental per-sample feature updates
+		// (see docs/PERFORMANCE.md for expected throughput).
 		Window: 90,
 		Stride: 30,
 	})

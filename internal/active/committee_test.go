@@ -1,7 +1,9 @@
 package active
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"albadross/internal/ml"
@@ -186,6 +188,61 @@ func TestTrainedCommitteeWithNonEnsembleModel(t *testing.T) {
 	}
 	if sum < 0.999 || sum > 1.001 {
 		t.Fatalf("soft vote is not a distribution: %v", p)
+	}
+}
+
+// failingClassifier errors from Fit, for exercising the committee's
+// member-training error path.
+type failingClassifier struct{}
+
+func (failingClassifier) Fit([][]float64, []int, int) error {
+	return errFailingFit
+}
+func (failingClassifier) NumClasses() int                   { return 0 }
+func (failingClassifier) PredictProba(x []float64) []float64 { return nil }
+
+var errFailingFit = fmt.Errorf("synthetic fit failure")
+
+// TestTrainedCommitteeEdgeCases pins the committee's defaulting and
+// error behavior: Members defaults to 5, invalid training input and a
+// failing member both surface errors, NumClasses reflects the fit, and
+// predicting before Fit panics.
+func TestTrainedCommitteeEdgeCases(t *testing.T) {
+	c := NewCommittee(
+		forest.NewFactory(forest.Config{NEstimators: 2, MaxDepth: 2, Seed: 1}),
+		CommitteeConfig{Seed: 7},
+	)
+	if c.Cfg.Members != 5 {
+		t.Fatalf("Members defaulted to %d, want 5", c.Cfg.Members)
+	}
+	if c.NumClasses() != 0 {
+		t.Fatalf("NumClasses before Fit = %d, want 0", c.NumClasses())
+	}
+	if err := c.Fit(nil, nil, 2); err == nil {
+		t.Fatal("Fit with no samples should error")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("PredictProba before Fit should panic")
+			}
+		}()
+		c.PredictProba([]float64{0})
+	}()
+	x := [][]float64{{0, 1}, {1, 0}, {0.2, 0.8}, {0.9, 0.1}}
+	y := []int{0, 1, 0, 1}
+	if err := c.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumClasses() != 2 {
+		t.Fatalf("NumClasses after Fit = %d, want 2", c.NumClasses())
+	}
+	bad := NewCommittee(
+		func() ml.Classifier { return failingClassifier{} },
+		CommitteeConfig{Members: 2, Seed: 7},
+	)
+	if err := bad.Fit(x, y, 2); err == nil || !strings.Contains(err.Error(), "committee member") {
+		t.Fatalf("failing member should surface a wrapped error, got %v", err)
 	}
 }
 

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// passingBench7 is a report that satisfies every gate against itself.
+func passingBench7() *Bench7Report {
+	r := &Bench7Report{SchemaVersion: 1, GoMaxProcs: 1}
+	r.Forest.Rows, r.Forest.Trees = 256, 20
+	r.Forest.PointerNsPerRow, r.Forest.FlatNsPerRow = 1400, 350
+	r.Forest.Speedup = 4.0
+	r.Forest.FlatAllocsPerOp = 3
+	r.Forest.BitwiseIdentical = true
+	r.GBM.Rows, r.GBM.Rounds = 256, 15
+	r.GBM.PointerNsPerRow, r.GBM.FlatNsPerRow = 2200, 600
+	r.GBM.Speedup = 3.7
+	r.GBM.FlatAllocsPerOp = 3
+	r.GBM.BitwiseIdentical = true
+	r.Rolling.Window, r.Rolling.Stride, r.Rolling.Steps = 32, 8, 512
+	r.Rolling.MaxRelErr = 4e-12
+	r.Rolling.Speedup = 1.1
+	r.Stream.Metrics, r.Stream.Window, r.Stream.Stride, r.Stream.Rows = 16, 32, 8, 4000
+	r.Stream.BatchRowsPerSec, r.Stream.RollingRowsPerSec = 37000, 40000
+	r.Stream.Speedup = 40000.0 / 37000.0
+	return r
+}
+
+// TestCompareBench7 exercises the gate's pass and fail paths.
+func TestCompareBench7(t *testing.T) {
+	base := passingBench7()
+	if bad := CompareBench7(passingBench7(), base, 0.2, 3.0); len(bad) != 0 {
+		t.Fatalf("self-comparison should pass, got %v", bad)
+	}
+	cases := []struct {
+		name  string
+		mut   func(r *Bench7Report)
+		gripe string
+	}{
+		{"forest not bitwise", func(r *Bench7Report) { r.Forest.BitwiseIdentical = false }, "bitwise"},
+		{"gbm not bitwise", func(r *Bench7Report) { r.GBM.BitwiseIdentical = false }, "bitwise"},
+		{"forest below floor", func(r *Bench7Report) { r.Forest.Speedup = 2.5 }, "below the 3.00x floor"},
+		{"gbm regressed", func(r *Bench7Report) { r.GBM.Speedup = 1.2 }, "gbm flat batch speedup regressed"},
+		{"forest leaks", func(r *Bench7Report) { r.Forest.FlatAllocsPerOp = 40 }, "allocates more"},
+		{"gbm leaks", func(r *Bench7Report) { r.GBM.FlatAllocsPerOp = 40 }, "allocates more"},
+		{"rolling diverged", func(r *Bench7Report) { r.Rolling.MaxRelErr = 1e-6 }, "equivalence bound"},
+		{"rolling diverged to NaN", func(r *Bench7Report) { r.Rolling.MaxRelErr = math.NaN() }, "equivalence bound"},
+		{"push allocates", func(r *Bench7Report) { r.Rolling.PushAllocsPerOp = 2 }, "Push allocates"},
+		{"stream regressed", func(r *Bench7Report) { r.Stream.Speedup = 0.5 }, "throughput ratio regressed"},
+	}
+	for _, tc := range cases {
+		fresh := passingBench7()
+		tc.mut(fresh)
+		bad := CompareBench7(fresh, base, 0.2, 3.0)
+		if len(bad) == 0 {
+			t.Fatalf("%s: expected a violation", tc.name)
+		}
+		found := false
+		for _, b := range bad {
+			if strings.Contains(b, tc.gripe) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: violations %v do not mention %q", tc.name, bad, tc.gripe)
+		}
+	}
+}
+
+// TestTrajectoryMarkdown renders the README table from a miniature
+// BENCH_4.json and the passing report.
+func TestTrajectoryMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	b4 := filepath.Join(dir, "BENCH_4.json")
+	doc := `{"micro":{"forest_serial_ns_per_row":1066.4,"forest_batch_ns_per_row":978.3},` +
+		`"serial":{"rows_per_sec":20655},"batched":{"rows_per_sec":75669}}`
+	if err := os.WriteFile(b4, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	table, err := TrajectoryMarkdown(b4, passingBench7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"| BENCH_4 |", "| BENCH_7 |", "978", "350", "4.00x", "75669", "40000"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("trajectory table missing %q:\n%s", want, table)
+		}
+	}
+	if _, err := TrajectoryMarkdown(filepath.Join(dir, "missing.json"), passingBench7()); err == nil {
+		t.Fatal("missing BENCH_4.json should error")
+	}
+}

@@ -30,6 +30,38 @@ type Extractor interface {
 	Extract(s []float64) []float64
 }
 
+// Rolling is incremental per-series extraction state: a sliding window
+// that accepts one sample at a time and can render the feature vector
+// of its current contents on demand. It exists for the streaming path,
+// where recomputing every feature from scratch per emitted window
+// dominates per-sample cost. Implementations are not safe for
+// concurrent use; callers own the locking.
+type Rolling interface {
+	// Push appends one sample, evicting the oldest once the window is
+	// full. It must run in amortized O(1) with no steady-state
+	// allocations.
+	Push(v float64)
+	// Features renders the feature vector of the current window into
+	// dst (allocating when dst has the wrong length) and returns it.
+	// The result must match the parent Extractor's Extract over the
+	// same values to within 1e-9 of the window's value scale.
+	Features(dst []float64) []float64
+	// Len reports how many samples the window currently holds.
+	Len() int
+	// Reset empties the window without releasing buffers.
+	Reset()
+}
+
+// Incremental is an Extractor that can also extract incrementally over
+// a sliding window. The stream layer upgrades to the rolling path when
+// its configured extractor implements this interface.
+type Incremental interface {
+	Extractor
+	// NewRolling returns fresh rolling state over a trailing window of
+	// the given length, with Features consistent with Extract.
+	NewRolling(window int) Rolling
+}
+
 // VectorNames returns the feature names of a full sample vector: the cross
 // product of metric names and per-metric feature names, in extraction
 // order ("metricName::featureName").

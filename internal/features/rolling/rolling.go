@@ -1,0 +1,655 @@
+// Package rolling implements an incremental sliding-window feature
+// extractor for the streaming path (Sec. III-A applied online). The
+// batch extractors (features/mvts, features/tsfresh) recompute every
+// feature from scratch each time the window advances; at stream rates
+// that makes feature extraction the dominant per-sample cost. A Roller
+// instead maintains running state that is updated in O(1) amortized
+// time per pushed sample:
+//
+//   - anchor-shifted power sums s1..s4 for mean, variance, skewness and
+//     kurtosis (central moments via the standard shift identities),
+//   - a sorted mirror of the window for exact order statistics —
+//     min, max, and the quantile family — at O(log w) search plus one
+//     memmove per update,
+//   - rolling pairwise sums for mean_abs_change and the lag-1..5
+//     autocorrelation numerators, and a position-weighted sum for the
+//     linear-trend family,
+//   - the spectral features reuse internal/fft's Welch PSD on the
+//     linearized window at emission time, so emission is O(w log w)
+//     while pushes stay cheap.
+//
+// Numerical contract: Extractor.Extract is the from-scratch reference;
+// Roller.Features must agree with it on every window to within 1e-9
+// (relative to the window's value scale). Both paths funnel through one
+// shared emission routine, so they can only disagree through the
+// accumulated sums themselves. Two mechanisms keep that disagreement at
+// ulp scale: the sums are rebuilt from the ring every window-length
+// pushes (bounding error accumulation), and emission rebuilds them
+// eagerly whenever catastrophic cancellation is detected (central
+// moments tiny relative to the raw power sums, or a non-finite sum
+// state left behind by overflowing values). After such a rebuild the
+// roller's sums are bitwise identical to the reference's.
+//
+// Non-finite policy: a window containing any NaN or Inf yields an
+// all-NaN vector (the stream layer repairs gaps before pushing, so a
+// non-finite here means an unrepaired hole; features over it would be
+// meaningless). Sanitize downstream maps the NaNs to zeros.
+package rolling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"albadross/internal/features"
+	"albadross/internal/fft"
+)
+
+// maxLag is the largest autocorrelation lag emitted.
+const maxLag = 5
+
+// welchSegment is the Welch PSD segment length, matching the batch
+// tsfresh extractor so spectral features are comparable across paths.
+const welchSegment = 64
+
+// degenEps classifies a window as numerically constant: when the value
+// range is at most degenEps times the value magnitude, variance is
+// reported as exactly 0 and the scale-normalized features (skewness,
+// kurtosis, autocorrelation, trend correlation) as NaN. The test uses
+// the window's exact min/max, which both extraction paths share
+// bitwise, so they always agree on degeneracy.
+const degenEps = 1e-12
+
+// ratioFloor triggers an eager rebuild of the rolling sums at emission
+// time: when a central moment is below ratioFloor times its raw power
+// sum, the subtraction has cancelled too many leading digits for the
+// incrementally-maintained sums to be trustworthy at 1e-9.
+const ratioFloor = 1e-3
+
+var featureNames = buildNames()
+
+func buildNames() []string {
+	names := []string{
+		"mean", "variance", "stddev", "minimum", "maximum", "range",
+		"skewness", "kurtosis", "sum", "abs_energy", "root_mean_square", "mean_abs",
+		"quantile_q05", "quantile_q25", "median", "quantile_q75", "quantile_q95", "iqr",
+		"mean_change", "mean_abs_change",
+		"trend_slope", "trend_intercept", "trend_r",
+	}
+	for lag := 1; lag <= maxLag; lag++ {
+		names = append(names, fmt.Sprintf("autocorr_lag%d", lag))
+	}
+	names = append(names,
+		"spectral_centroid", "spectral_variance", "spectral_skew", "spectral_kurtosis",
+		"psd_max", "psd_argmax_freq", "psd_total",
+		"zero_fraction", "first_value", "last_value",
+	)
+	return names
+}
+
+// Extractor computes the rolling feature set from scratch over one
+// series. It is the golden reference the incremental Roller is tested
+// against, and doubles as a drop-in batch extractor ("rolling") for the
+// experiment harness. The zero value is ready to use.
+type Extractor struct{}
+
+// Name returns "rolling".
+func (Extractor) Name() string { return "rolling" }
+
+// FeatureNames lists the per-metric feature names in extraction order.
+func (Extractor) FeatureNames() []string { return featureNames }
+
+// NewRolling returns incremental per-series state whose Features output
+// tracks Extract over the trailing window values.
+func (Extractor) NewRolling(window int) features.Rolling { return NewRoller(window) }
+
+// Extract computes the feature vector of one series by a direct scan.
+// An empty series or one containing non-finite values yields all NaNs.
+func (Extractor) Extract(s []float64) []float64 {
+	dst := make([]float64, len(featureNames))
+	n := len(s)
+	if n == 0 {
+		return fillNaN(dst)
+	}
+	for _, v := range s {
+		if !isFinite(v) {
+			return fillNaN(dst)
+		}
+	}
+	a := scan(n, s[0], func(i int) float64 { return s[i] })
+	sorted := append([]float64(nil), s...)
+	sort.Float64s(sorted)
+	emitInto(dst, &a, s, sorted)
+	return dst
+}
+
+// interface conformance, checked at compile time.
+var _ features.Incremental = Extractor{}
+var _ features.Rolling = (*Roller)(nil)
+
+// agg holds the window sums both extraction paths reduce to before
+// emission. All z terms are values shifted by the anchor k; non-finite
+// values contribute zero to every sum (and are tracked separately by
+// the Roller, which refuses to emit while any is in the window).
+type agg struct {
+	n  int     // window length
+	k  float64 // anchor subtracted from every value before summing
+	s1 float64 // Σ z
+	s2 float64 // Σ z²
+	s3 float64 // Σ z³
+	s4 float64 // Σ z⁴
+	// absSum is Σ |x| over the raw (unshifted) values.
+	absSum float64
+	// diffAbs is Σ |x[i] - x[i-1]| over adjacent finite pairs.
+	diffAbs float64
+	// tx is Σ i·z over window positions i = 0..n-1, the covariance
+	// numerator of the linear-trend fit.
+	tx float64
+	// cross[L-1] is Σ z[i]·z[i+L], the autocorrelation numerator.
+	cross [maxLag]float64
+	// zeros counts exact-zero values for zero_fraction.
+	zeros int
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// zOf is the anchored value: v - k for finite v, 0 otherwise.
+func zOf(v, k float64) float64 {
+	if !isFinite(v) {
+		return 0
+	}
+	return v - k
+}
+
+// diffPair is one adjacent-difference contribution: |b - a| when both
+// ends are finite, 0 otherwise.
+func diffPair(a, b float64) float64 {
+	if isFinite(a) && isFinite(b) {
+		return math.Abs(b - a)
+	}
+	return 0
+}
+
+// scan builds the window sums by one pass over at(0..n-1), anchored at
+// k. It is the single accumulation routine shared by the reference
+// extractor and the Roller's rebuilds, so that after a rebuild the two
+// paths hold bitwise-identical sums.
+func scan(n int, k float64, at func(int) float64) agg {
+	a := agg{n: n, k: k}
+	for i := 0; i < n; i++ {
+		v := at(i)
+		if isFinite(v) {
+			z := v - k
+			z2 := z * z
+			a.s1 += z
+			a.s2 += z2
+			a.s3 += z2 * z
+			a.s4 += z2 * z2
+			a.absSum += math.Abs(v)
+		}
+		if v == 0 {
+			a.zeros++
+		}
+		a.tx += float64(i) * zOf(v, k)
+		if i > 0 {
+			a.diffAbs += diffPair(at(i-1), v)
+		}
+		for lag := 1; lag <= maxLag && lag <= i; lag++ {
+			a.cross[lag-1] += zOf(at(i-lag), k) * zOf(v, k)
+		}
+	}
+	return a
+}
+
+// fillNaN overwrites dst with NaNs and returns it.
+func fillNaN(dst []float64) []float64 {
+	nan := math.NaN()
+	for i := range dst {
+		dst[i] = nan
+	}
+	return dst
+}
+
+// quantileSorted returns the q-quantile of an ascending slice by linear
+// interpolation at rank q·(n-1), the convention stats.Quantile uses.
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 0 {
+		return math.NaN()
+	}
+	h := q * float64(n-1)
+	lo := int(h)
+	if lo >= n-1 {
+		return s[n-1]
+	}
+	return s[lo] + (h-float64(lo))*(s[lo+1]-s[lo])
+}
+
+// emitInto renders the feature vector from the window sums, the window
+// in order (win), and its ascending copy (sorted). Both extraction
+// paths call exactly this routine, so any rolling-vs-scratch deviation
+// originates in the sums, never the feature formulas. The caller
+// guarantees n >= 1 and an all-finite window.
+func emitInto(dst []float64, a *agg, win, sorted []float64) {
+	n := a.n
+	fn := float64(n)
+	if fn < 1 {
+		fillNaN(dst)
+		return
+	}
+	nan := math.NaN()
+	mean, m2, m3, m4 := moments(a)
+
+	mn, mx := sorted[0], sorted[n-1]
+	amax := math.Abs(mn)
+	if x := math.Abs(mx); x > amax {
+		amax = x
+	}
+	rng := mx - mn
+	// Degeneracy from the exact range, which both paths share bitwise:
+	// a numerically constant window has variance 0 by fiat and no
+	// defined shape or correlation features. m2 == 0 catches windows
+	// whose true variance underflows.
+	degenerate := rng <= degenEps*amax || m2 == 0
+	variance := 0.0
+	if !degenerate {
+		variance = m2 / fn
+	}
+	sd := 0.0
+	if variance > 0 {
+		sd = math.Sqrt(variance)
+	}
+
+	i := 0
+	put := func(v float64) { dst[i] = v; i++ }
+
+	put(mean)
+	put(variance)
+	put(sd)
+	put(mn)
+	put(mx)
+	put(rng)
+	if degenerate || sd <= 0 {
+		put(nan) // skewness
+		put(nan) // kurtosis
+	} else {
+		put(m3 / fn / (sd * sd * sd))
+		put(m4/fn/(variance*variance) - 3)
+	}
+	put(fn*a.k + a.s1) // sum
+	ae := a.s2 + 2*a.k*a.s1 + fn*a.k*a.k
+	if ae < 0 {
+		ae = 0 // cancellation noise; Σx² is nonnegative
+	}
+	put(ae)
+	put(math.Sqrt(ae / fn))
+	put(a.absSum / fn)
+
+	q25 := quantileSorted(sorted, 0.25)
+	q75 := quantileSorted(sorted, 0.75)
+	put(quantileSorted(sorted, 0.05))
+	put(q25)
+	put(quantileSorted(sorted, 0.5))
+	put(q75)
+	put(quantileSorted(sorted, 0.95))
+	put(q75 - q25)
+
+	nm1 := fn - 1
+	if nm1 > 0 {
+		put((win[n-1] - win[0]) / nm1)
+		put(a.diffAbs / nm1)
+	} else {
+		put(nan)
+		put(nan)
+	}
+
+	// Linear trend over positions 0..n-1: with t̄ = (n-1)/2 the index
+	// sum of squares is Stt = n(n²-1)/12 and the covariance numerator
+	// is tx - t̄·s1 (anchor-invariant).
+	stt := fn * (fn*fn - 1) / 12
+	if stt > 0 {
+		tbar := nm1 / 2
+		sxy := a.tx - tbar*a.s1
+		slope := sxy / stt
+		put(slope)
+		put(mean - slope*tbar)
+		if den := stt * m2; den > 0 && !degenerate {
+			put(sxy / math.Sqrt(den))
+		} else {
+			put(nan)
+		}
+	} else {
+		put(nan)
+		put(nan)
+		put(nan)
+	}
+
+	// Autocorrelation at lags 1..maxLag, tsfresh's estimator:
+	// Σ(z[i]-z̄)(z[i+L]-z̄) / ((n-L)·m2/n), expanded so the numerator
+	// needs only the rolling cross sum plus the first/last L anchored
+	// values read off the window at emission.
+	zbar := a.s1 / fn
+	for lag := 1; lag <= maxLag; lag++ {
+		if n <= lag || degenerate {
+			put(nan)
+			continue
+		}
+		var headL, tailL float64
+		for j := 0; j < lag; j++ {
+			headL += win[j] - a.k
+			tailL += win[n-1-j] - a.k
+		}
+		num := a.cross[lag-1] - zbar*(2*a.s1-headL-tailL) + float64(n-lag)*zbar*zbar
+		if den := float64(n-lag) * (m2 / fn); den > 0 {
+			put(num / den)
+		} else {
+			put(nan)
+		}
+	}
+
+	// Spectral summary via Welch's method at 1 Hz, as in the batch
+	// tsfresh extractor. The PSD is computed from the same window bits
+	// in both paths, so these features are bitwise identical.
+	seg := n
+	if seg > welchSegment {
+		seg = welchSegment
+	}
+	freqs, psd := fft.Welch(win, 1, seg)
+	if len(psd) == 0 {
+		for j := 0; j < 7; j++ {
+			put(nan)
+		}
+	} else {
+		c, v, sk, ku := fft.SpectralMoments(freqs, psd)
+		put(c)
+		put(v)
+		put(sk)
+		put(ku)
+		arg, pmax, total := 0, psd[0], 0.0
+		for j, p := range psd {
+			total += p
+			if p > pmax {
+				pmax = p
+				arg = j
+			}
+		}
+		put(pmax)
+		put(freqs[arg])
+		put(total)
+	}
+
+	put(float64(a.zeros) / fn)
+	put(win[0])
+	put(win[n-1])
+}
+
+// moments converts the shifted power sums to the mean and the 2nd-4th
+// central moments (times n) via the standard shift identities.
+func moments(a *agg) (mean, m2, m3, m4 float64) {
+	fn := float64(a.n)
+	if fn < 1 {
+		return 0, 0, 0, 0
+	}
+	zb := a.s1 / fn
+	mean = a.k + zb
+	m2 = a.s2 - a.s1*zb
+	m3 = a.s3 - 3*zb*a.s2 + 2*a.s1*zb*zb
+	m4 = a.s4 - 4*zb*a.s3 + 6*zb*zb*a.s2 - 3*a.s1*zb*zb*zb
+	if m2 < 0 {
+		m2 = 0
+	}
+	if m4 < 0 {
+		m4 = 0
+	}
+	return mean, m2, m3, m4
+}
+
+// Roller is the incremental sliding-window state for one metric. Push
+// appends a sample (evicting the oldest once the window is full) in
+// O(1) amortized time and zero steady-state allocations; Features
+// renders the current window's feature vector. A Roller is not safe
+// for concurrent use; the stream layer owns one per metric inside its
+// existing lock.
+type Roller struct {
+	w    int       // window capacity
+	ring []float64 // circular buffer, oldest at head
+	head int
+	a    agg // running sums over the current window contents
+	// nonFinite counts NaN/Inf values currently in the window; any
+	// makes Features emit all NaNs.
+	nonFinite int
+	// sorted mirrors the window's finite values in ascending order for
+	// exact min/max/quantiles.
+	sorted []float64
+	// sincePack counts pushes since the sums were last rebuilt from
+	// the ring; a rebuild every w pushes bounds floating-point drift.
+	sincePack int
+	// peak2 and peakAbs track the largest z² and |x| summed since the
+	// last rebuild — including values already evicted. A past outlier
+	// leaves absolute residue of order ε·peak in the sums after its
+	// add/subtract round trip, invisible to the moment-vs-power-sum
+	// ratio; emission rebuilds when current moments are small against
+	// these peaks.
+	peak2   float64
+	peakAbs float64
+	scratch []float64 // linearization buffer for emission
+}
+
+// NewRoller returns a Roller over a trailing window of the given
+// length. It panics if window < 1 (programmer error).
+func NewRoller(window int) *Roller {
+	if window < 1 {
+		panic("rolling: window must be >= 1")
+	}
+	return &Roller{
+		w:       window,
+		ring:    make([]float64, window),
+		sorted:  make([]float64, 0, window),
+		scratch: make([]float64, 0, window),
+	}
+}
+
+// Window returns the configured window length.
+func (r *Roller) Window() int { return r.w }
+
+// Len returns the number of samples currently held, at most Window().
+func (r *Roller) Len() int { return r.a.n }
+
+// Reset empties the window without releasing buffers.
+func (r *Roller) Reset() {
+	r.head = 0
+	r.a = agg{}
+	r.nonFinite = 0
+	r.sorted = r.sorted[:0]
+	r.sincePack = 0
+	r.peak2, r.peakAbs = 0, 0
+}
+
+// at returns the value at window position i (0 = oldest).
+func (r *Roller) at(i int) float64 { return r.ring[(r.head+i)%r.w] }
+
+// Push appends v to the window, evicting the oldest sample when full.
+func (r *Roller) Push(v float64) {
+	if r.a.n == r.w {
+		r.evict()
+	}
+	i := r.a.n // window position of the new value
+	z := zOf(v, r.a.k)
+	for lag := 1; lag <= maxLag && lag <= i; lag++ {
+		r.a.cross[lag-1] += zOf(r.at(i-lag), r.a.k) * z
+	}
+	if i > 0 {
+		r.a.diffAbs += diffPair(r.at(i-1), v)
+	}
+	r.ring[(r.head+i)%r.w] = v
+	r.a.n++
+	if isFinite(v) {
+		z2 := z * z
+		r.a.s1 += z
+		r.a.s2 += z2
+		r.a.s3 += z2 * z
+		r.a.s4 += z2 * z2
+		av := math.Abs(v)
+		r.a.absSum += av
+		if z2 > r.peak2 {
+			r.peak2 = z2
+		}
+		if av > r.peakAbs {
+			r.peakAbs = av
+		}
+		r.insertSorted(v)
+	} else {
+		r.nonFinite++
+	}
+	r.a.tx += float64(i) * z
+	if v == 0 {
+		r.a.zeros++
+	}
+	r.sincePack++
+	if r.sincePack >= r.w {
+		r.rebuild()
+	}
+}
+
+// evict removes the oldest sample from every running sum.
+func (r *Roller) evict() {
+	v0 := r.ring[r.head]
+	z0 := zOf(v0, r.a.k)
+	n := r.a.n
+	for lag := 1; lag <= maxLag && lag < n; lag++ {
+		r.a.cross[lag-1] -= z0 * zOf(r.at(lag), r.a.k)
+	}
+	if n > 1 {
+		r.a.diffAbs -= diffPair(v0, r.at(1))
+	}
+	if isFinite(v0) {
+		z2 := z0 * z0
+		r.a.s1 -= z0
+		r.a.s2 -= z2
+		r.a.s3 -= z2 * z0
+		r.a.s4 -= z2 * z2
+		r.a.absSum -= math.Abs(v0)
+		r.removeSorted(v0)
+	} else {
+		r.nonFinite--
+	}
+	// Surviving positions all shift down by one, so Σ i·z loses the
+	// survivors' plain sum; s1 already excludes z0 at this point.
+	r.a.tx -= r.a.s1
+	if v0 == 0 {
+		r.a.zeros--
+	}
+	r.a.n--
+	r.head = (r.head + 1) % r.w
+}
+
+// insertSorted adds a finite value to the sorted mirror.
+func (r *Roller) insertSorted(v float64) {
+	i := sort.SearchFloat64s(r.sorted, v)
+	r.sorted = append(r.sorted, 0)
+	copy(r.sorted[i+1:], r.sorted[i:])
+	r.sorted[i] = v
+}
+
+// removeSorted drops one occurrence of a finite value from the sorted
+// mirror. The value always comes from the ring, so a numerically equal
+// element is guaranteed present.
+func (r *Roller) removeSorted(v float64) {
+	i := sort.SearchFloat64s(r.sorted, v)
+	r.sorted = append(r.sorted[:i], r.sorted[i+1:]...)
+}
+
+// rebuild recomputes every sum from the ring with a fresh anchor (the
+// oldest finite value), resetting accumulated floating-point drift.
+// After a rebuild on an all-finite window the sums are bitwise
+// identical to what the reference extractor computes.
+func (r *Roller) rebuild() {
+	n := r.a.n
+	k := 0.0
+	for i := 0; i < n; i++ {
+		if v := r.at(i); isFinite(v) {
+			k = v
+			break
+		}
+	}
+	r.a = scan(n, k, r.at)
+	r.peak2, r.peakAbs = 0, 0
+	for i := 0; i < n; i++ {
+		v := r.at(i)
+		if !isFinite(v) {
+			continue
+		}
+		z := v - k
+		if z2 := z * z; z2 > r.peak2 {
+			r.peak2 = z2
+		}
+		if av := math.Abs(v); av > r.peakAbs {
+			r.peakAbs = av
+		}
+	}
+	r.sincePack = 0
+}
+
+// sumsSuspect reports whether emission must rebuild first: a central
+// moment has cancelled below ratioFloor of its raw power sum, or an
+// overflow poisoned the running state (an Inf that was later evicted
+// leaves NaNs behind that subtraction cannot undo).
+func (r *Roller) sumsSuspect() bool {
+	state := r.a.s1 + r.a.s2 + r.a.s3 + r.a.s4 + r.a.tx + r.a.absSum + r.a.diffAbs
+	for _, c := range r.a.cross {
+		state += c
+	}
+	if !isFinite(state) {
+		return true
+	}
+	if r.a.s2 > 0 {
+		_, m2, _, m4 := moments(&r.a)
+		if m2 < ratioFloor*r.a.s2 || m4 < ratioFloor*r.a.s4 {
+			return true
+		}
+		if m2 < ratioFloor*r.peak2 || m4 < ratioFloor*(r.peak2*r.peak2) {
+			return true
+		}
+	}
+	if r.peakAbs > 0 && r.a.absSum < ratioFloor*r.peakAbs {
+		return true
+	}
+	// Deep-subnormal regime: when every |x| or z² lives near the bottom
+	// of the float64 range, the power sums round in gradual underflow
+	// where the two paths' different accumulation orders diverge badly.
+	// A rebuild reproduces the reference scan bitwise, restoring exact
+	// agreement (at O(w) per emission for these pathological windows).
+	if r.peakAbs > 0 && r.peakAbs < 1e-140 {
+		return true
+	}
+	if r.peak2 > 0 && r.peak2 < 1e-150 {
+		return true
+	}
+	return false
+}
+
+// Features renders the feature vector of the current window contents
+// into dst (allocating when dst is not len(FeatureNames())) and
+// returns it. An empty window, or one holding any non-finite value,
+// yields all NaNs. For any window state, the output matches
+// Extractor.Extract over the same values to within 1e-9 of the
+// window's value scale.
+func (r *Roller) Features(dst []float64) []float64 {
+	if len(dst) != len(featureNames) {
+		dst = make([]float64, len(featureNames))
+	}
+	n := r.a.n
+	if n == 0 || r.nonFinite > 0 {
+		return fillNaN(dst)
+	}
+	if r.sumsSuspect() {
+		r.rebuild()
+	}
+	win := r.scratch[:0]
+	for i := 0; i < n; i++ {
+		win = append(win, r.at(i))
+	}
+	r.scratch = win[:0]
+	emitInto(dst, &r.a, win, r.sorted)
+	return dst
+}

@@ -1,0 +1,315 @@
+package rolling_test
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"albadross/internal/features"
+	"albadross/internal/features/rolling"
+)
+
+// maxAbs returns the largest magnitude among finite values of s, at
+// least 1, as the scale for relative comparisons.
+func maxAbs(s []float64) float64 {
+	m := 1.0
+	for _, v := range s {
+		if a := math.Abs(v); a > m && !math.IsInf(v, 0) && !math.IsNaN(v) {
+			m = a
+		}
+	}
+	return m
+}
+
+// closeAt reports whether a rolling feature value matches the
+// reference within tol relative to the window's value scale. NaN must
+// match NaN; identical bits (including infinities) always match.
+func closeAt(got, want, scale, tol float64) bool {
+	if math.Float64bits(got) == math.Float64bits(want) {
+		return true
+	}
+	if math.IsNaN(got) || math.IsNaN(want) {
+		return math.IsNaN(got) && math.IsNaN(want)
+	}
+	limit := tol * scale
+	if a := math.Abs(got); a > scale {
+		limit = tol * a
+	}
+	if a := math.Abs(want); tol*a > limit {
+		limit = tol * a
+	}
+	return math.Abs(got-want) <= limit
+}
+
+// checkWindow compares a roller emission against the from-scratch
+// reference over the same window values.
+func checkWindow(t *testing.T, ctx string, r features.Rolling, win []float64, tol float64) {
+	t.Helper()
+	got := r.Features(nil)
+	want := rolling.Extractor{}.Extract(win)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d features, want %d", ctx, len(got), len(want))
+	}
+	names := rolling.Extractor{}.FeatureNames()
+	scale := maxAbs(win)
+	for i := range got {
+		if !closeAt(got[i], want[i], scale, tol) {
+			t.Fatalf("%s: feature %s: rolling %v, from-scratch %v (window %v)",
+				ctx, names[i], got[i], want[i], win)
+		}
+	}
+}
+
+// driveSeries pushes a series through a roller, checking equivalence
+// with the reference at every step, including the partial-window
+// warmup. This is the golden property of ISSUE 7: rolling and batch
+// extraction agree on every window to within 1e-9.
+func driveSeries(t *testing.T, ctx string, series []float64, window int, tol float64) {
+	t.Helper()
+	r := rolling.NewRoller(window)
+	for i, v := range series {
+		r.Push(v)
+		lo := i + 1 - window
+		if lo < 0 {
+			lo = 0
+		}
+		checkWindow(t, ctx, r, series[lo:i+1], tol)
+	}
+}
+
+func TestRollerMatchesExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	n := 400
+	walk := make([]float64, n)
+	sine := make([]float64, n)
+	offsetNoise := make([]float64, n)
+	spiky := make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += rng.NormFloat64()
+		walk[i] = acc
+		sine[i] = 40*math.Sin(float64(i)/7) + rng.NormFloat64()
+		offsetNoise[i] = 1e9 + rng.NormFloat64() // tiny variance on a huge offset
+		spiky[i] = rng.ExpFloat64()
+		if rng.Intn(20) == 0 {
+			spiky[i] *= 1e6 // occasional huge outlier
+		}
+	}
+	for _, window := range []int{1, 2, 5, 32, 64} {
+		driveSeries(t, "random walk", walk, window, 1e-9)
+		driveSeries(t, "sine", sine, window, 1e-9)
+		driveSeries(t, "offset noise", offsetNoise, window, 1e-9)
+		driveSeries(t, "spiky", spiky, window, 1e-9)
+	}
+}
+
+// TestRollerStepChange crosses a 1e6x level shift, the worst case for
+// anchored power sums: windows spanning the step must still match.
+func TestRollerStepChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 200
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+		if i >= n/2 {
+			s[i] = 1e6 + rng.NormFloat64()
+		}
+	}
+	driveSeries(t, "step change", s, 48, 1e-9)
+}
+
+// TestRollerConstantAndNearConstant pins the degenerate-variance
+// policy: both paths must agree that a numerically constant window has
+// zero variance and undefined shape features.
+func TestRollerConstantAndNearConstant(t *testing.T) {
+	constant := make([]float64, 100)
+	for i := range constant {
+		constant[i] = 42.5
+	}
+	driveSeries(t, "constant", constant, 16, 1e-9)
+	near := make([]float64, 100)
+	for i := range near {
+		near[i] = 1e8 + float64(i%2)*1e-7 // range far below 1e-12 of magnitude
+	}
+	driveSeries(t, "near constant", near, 16, 1e-9)
+}
+
+// TestRollerNonFinite pins the non-finite policy: while any NaN or Inf
+// is in the window both paths emit all NaNs, and once it falls out of
+// the window equivalence resumes.
+func TestRollerNonFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 120
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64() * 10
+	}
+	s[30] = math.NaN()
+	s[31] = math.Inf(1)
+	s[70] = math.Inf(-1)
+	driveSeries(t, "non-finite", s, 24, 1e-9)
+}
+
+func TestRollerReset(t *testing.T) {
+	r := rolling.NewRoller(8)
+	for i := 0; i < 20; i++ {
+		r.Push(float64(i) * 1.5)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", r.Len())
+	}
+	out := r.Features(nil)
+	for i, v := range out {
+		if !math.IsNaN(v) {
+			t.Fatalf("feature %d after Reset = %v, want NaN", i, v)
+		}
+	}
+	series := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	for _, v := range series {
+		r.Push(v)
+	}
+	checkWindow(t, "post-reset", r, series, 1e-9)
+}
+
+// TestExtractEmptyAllNaN pins the empty-series contract shared with
+// the other extractors: full-length vector, every entry NaN.
+func TestExtractEmptyAllNaN(t *testing.T) {
+	e := rolling.Extractor{}
+	out := e.Extract(nil)
+	if len(out) != len(e.FeatureNames()) {
+		t.Fatalf("Extract(nil) returned %d features, declared %d", len(out), len(e.FeatureNames()))
+	}
+	for i, v := range out {
+		if !math.IsNaN(v) {
+			t.Fatalf("feature %s = %v on empty series, want NaN", e.FeatureNames()[i], v)
+		}
+	}
+}
+
+// TestPushZeroAllocs gates the hot-path contract BENCH_7 relies on:
+// steady-state pushes allocate nothing.
+func TestPushZeroAllocs(t *testing.T) {
+	r := rolling.NewRoller(64)
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 256)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	for _, v := range vals {
+		r.Push(v) // fill past capacity so the ring is in steady state
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Push(vals[i%len(vals)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Push allocates %.1f objects per call in steady state, want 0", allocs)
+	}
+}
+
+// TestFeaturesReusesDst checks Features writes into a caller buffer of
+// the right length instead of allocating a fresh one.
+func TestFeaturesReusesDst(t *testing.T) {
+	r := rolling.NewRoller(16)
+	for i := 0; i < 16; i++ {
+		r.Push(float64(i))
+	}
+	buf := make([]float64, len(rolling.Extractor{}.FeatureNames()))
+	out := r.Features(buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("Features allocated a new slice despite a correctly-sized dst")
+	}
+}
+
+// decodeFuzzSeries turns fuzz bytes into a window length and a series:
+// first byte picks the window (1..32), every following 8-byte chunk is
+// one float64 sample, taken verbatim so NaN/Inf bit patterns survive.
+func decodeFuzzSeries(data []byte) (int, []float64) {
+	if len(data) == 0 {
+		return 1, nil
+	}
+	window := int(data[0])%32 + 1
+	data = data[1:]
+	s := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		s = append(s, math.Float64frombits(binary.LittleEndian.Uint64(data)))
+		data = data[8:]
+	}
+	if len(s) > 512 {
+		s = s[:512]
+	}
+	return window, s
+}
+
+// FuzzRollerEquivalence drives arbitrary byte-derived series through
+// push/evict and asserts every emission agrees with the from-scratch
+// reference. The fuzz tolerance is looser than the golden 1e-9 (logic
+// bugs — wrong eviction, stale sums — produce O(1) errors, which is
+// what fuzzing hunts; adversarial bit patterns can legitimately cost a
+// few extra ulps). Windows where either path emits non-finite values
+// from finite-but-overflowing inputs only require NaN-pattern
+// agreement.
+func FuzzRollerEquivalence(f *testing.F) {
+	le := binary.LittleEndian
+	seed := func(window byte, vals ...float64) []byte {
+		b := []byte{window}
+		for _, v := range vals {
+			var chunk [8]byte
+			le.PutUint64(chunk[:], math.Float64bits(v))
+			b = append(b, chunk[:]...)
+		}
+		return b
+	}
+	nan, inf := math.NaN(), math.Inf(1)
+	// Window-boundary edges: series exactly one shorter, equal, and one
+	// longer than the window.
+	f.Add(seed(3, 1, 2))
+	f.Add(seed(3, 1, 2, 3))
+	f.Add(seed(3, 1, 2, 3, 4))
+	// Non-finite values entering and leaving the window.
+	f.Add(seed(2, 1, nan, 2, 3, 4))
+	f.Add(seed(2, inf, -2, 5, nan, 0, 1))
+	f.Add(seed(4, 1, 2, -inf, 3, 4, 5, 6, 7))
+	// Constant and near-constant windows around the degeneracy guard.
+	f.Add(seed(4, 7, 7, 7, 7, 7, 7))
+	f.Add(seed(4, 1e9, 1e9+1e-6, 1e9, 1e9+1e-6, 1e9))
+	// Signed zeros, denormals, huge magnitudes.
+	f.Add(seed(3, math.Copysign(0, -1), 0, 5e-324, -5e-324, 1e300, -1e300))
+	f.Add(seed(5, 1e154, -1e154, 2, 3, 4, 5, 6, 7, 8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		window, s := decodeFuzzSeries(data)
+		r := rolling.NewRoller(window)
+		e := rolling.Extractor{}
+		for i, v := range s {
+			r.Push(v)
+			lo := i + 1 - window
+			if lo < 0 {
+				lo = 0
+			}
+			win := s[lo : i+1]
+			got := r.Features(nil)
+			want := e.Extract(win)
+			scale := maxAbs(win)
+			for j := range got {
+				gotNaN, wantNaN := math.IsNaN(got[j]), math.IsNaN(want[j])
+				if gotNaN != wantNaN {
+					t.Fatalf("step %d feature %d: NaN mismatch: rolling %v, from-scratch %v",
+						i, j, got[j], want[j])
+				}
+				if gotNaN {
+					continue
+				}
+				if math.IsInf(got[j], 0) || math.IsInf(want[j], 0) || scale > 1e150 {
+					continue // overflow regime: NaN agreement is the contract
+				}
+				if !closeAt(got[j], want[j], scale, 1e-7) {
+					t.Fatalf("step %d feature %d: rolling %v, from-scratch %v (window %v)",
+						i, j, got[j], want[j], win)
+				}
+			}
+		}
+	})
+}

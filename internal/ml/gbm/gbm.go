@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"albadross/internal/ml"
+	"albadross/internal/ml/flat"
 	"albadross/internal/ml/tree"
 	"albadross/internal/runner"
 )
@@ -75,6 +76,12 @@ type Model struct {
 	Trees [][]treeWithCols
 	// Prior is the initial per-class logit (log class frequency).
 	Prior []float64
+	// flatGBM is the flattened SoA copy of every tree (column subsets
+	// remapped to global feature ids) behind PredictProbaBatch.
+	// Unexported (gob skips it); built by Fit or WarmFlat, immutable
+	// afterwards. When nil the batch path falls back to the pointer walk
+	// rather than racing to build it.
+	flatGBM *flat.GBM
 }
 
 // New returns an unfitted model.
@@ -141,6 +148,7 @@ func (m *Model) Fit(x [][]float64, y []int, nClasses int) error {
 	}
 	cfg := m.Cfg
 	m.NClasses = nClasses
+	m.flatGBM = nil
 	n := len(x)
 	d := len(x[0])
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -239,7 +247,31 @@ func (m *Model) Fit(x [][]float64, y []int, nClasses int) error {
 		})
 		m.Trees = append(m.Trees, roundTrees)
 	}
+	m.WarmFlat()
 	return nil
+}
+
+// WarmFlat builds the model's flattened representation if it is missing
+// (idempotent, not safe concurrently with prediction). Fit calls it
+// after boosting; models decoded from disk get it from ml.Warm when the
+// server publishes them.
+func (m *Model) WarmFlat() {
+	if m.flatGBM != nil || len(m.Trees) == 0 {
+		return
+	}
+	total := 0
+	for _, round := range m.Trees {
+		for _, tc := range round {
+			total += len(tc.Tree.Nodes)
+		}
+	}
+	g := flat.NewGBM(m.NClasses, m.Prior, m.Cfg.LearningRate, total)
+	for _, round := range m.Trees {
+		for _, tc := range round {
+			tc.Tree.FlattenInto(g, tc.Cols)
+		}
+	}
+	m.flatGBM = g
 }
 
 // drawCols draws one tree's feature subset from the shared rng (nil for
@@ -291,11 +323,14 @@ func (m *Model) logitsInto(x []float64, logits, buf []float64) {
 }
 
 // PredictProbaBatch classifies many rows in one pass (ml.BatchPredictor):
-// rows are sharded into contiguous chunks across runtime.NumCPU()
-// workers, each reusing one logits and one column-projection scratch
-// buffer for its whole chunk, with the softmax written straight into
-// the shared output backing. Output rows are identical to per-row
-// PredictProba regardless of the worker count.
+// rows are sharded into contiguous chunks across workers. When the
+// model has a flattened representation (built by Fit or WarmFlat), each
+// worker sweeps the cache-local SoA trees — with column subsets
+// remapped at flatten time, so the per-row projection buffers the
+// pointer path pays for disappear entirely; otherwise each worker
+// reuses one logits and one projection scratch for its whole chunk.
+// Both paths produce output bitwise identical to per-row PredictProba
+// for any worker count.
 func (m *Model) PredictProbaBatch(x [][]float64) [][]float64 {
 	if len(m.Trees) == 0 && m.Prior == nil {
 		panic("gbm: PredictProbaBatch before Fit")
@@ -303,6 +338,10 @@ func (m *Model) PredictProbaBatch(x [][]float64) [][]float64 {
 	start := time.Now()
 	defer func() { ml.ObservePredictBatch("gbm", time.Since(start), len(x)) }()
 	out := ml.ProbaMatrix(len(x), m.NClasses)
+	if g := m.flatGBM; g != nil {
+		g.PredictProbaInto(x, out, m.Cfg.Workers)
+		return out
+	}
 	ml.ParallelRows(len(x), 0, func(lo, hi int) {
 		logits := make([]float64, len(m.Prior))
 		buf := make([]float64, 0, 16)

@@ -78,6 +78,28 @@ type BatchPredictor interface {
 	PredictProbaBatch(x [][]float64) [][]float64
 }
 
+// Warmer is implemented by models that precompute serving-time
+// acceleration structures from their fitted state — the tree ensembles
+// build their flattened SoA node arrays (internal/ml/flat) here. Fit
+// warms automatically; WarmFlat exists for models decoded from disk,
+// whose unexported caches gob cannot carry. It must be idempotent. It
+// is not safe to call concurrently with prediction, so callers warm
+// before publishing a model to serving goroutines.
+type Warmer interface {
+	// WarmFlat builds any missing acceleration structures.
+	WarmFlat()
+}
+
+// Warm precomputes c's serving-time acceleration structures when it
+// implements Warmer and is a no-op otherwise. The server calls it once
+// per model at snapshot-publication time, before the model becomes
+// visible to concurrent traffic.
+func Warm(c Classifier) {
+	if w, ok := c.(Warmer); ok {
+		w.WarmFlat()
+	}
+}
+
 // ProbaBatchParallel returns the probability matrix for many rows using
 // the fastest available path: the model's native PredictProbaBatch when
 // it implements BatchPredictor, and otherwise PredictProba fanned out

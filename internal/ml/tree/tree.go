@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"albadross/internal/ml"
+	"albadross/internal/ml/flat"
 )
 
 // Criterion selects the impurity measure of the classification tree.
@@ -136,6 +137,12 @@ type Classifier struct {
 	// weighted by the fraction of samples routed through each split
 	// (sklearn's mean-decrease-impurity, unnormalized).
 	Importances []float64
+	// flatFore is the flattened single-tree ensemble behind
+	// PredictProbaBatch. Unexported (gob skips it); built by Fit or
+	// WarmFlat, never mutated afterwards. When nil — e.g. on a tree
+	// decoded from disk and never warmed — the batch path falls back to
+	// the pointer walk rather than racing to build it.
+	flatFore *flat.Forest
 }
 
 // NewClassifier returns an unfitted tree with the given configuration.
@@ -149,7 +156,11 @@ func (t *Classifier) NumClasses() int { return t.NClasses }
 // Fit grows the tree on the full input. To train on a bootstrap sample or
 // with per-sample weights, use FitWeighted.
 func (t *Classifier) Fit(x [][]float64, y []int, nClasses int) error {
-	return t.FitWeighted(x, y, nil, nClasses)
+	if err := t.FitWeighted(x, y, nil, nClasses); err != nil {
+		return err
+	}
+	t.WarmFlat()
+	return nil
 }
 
 // FitWeighted grows the tree with optional per-sample weights (nil means
@@ -161,6 +172,7 @@ func (t *Classifier) FitWeighted(x [][]float64, y []int, w []float64, nClasses i
 	}
 	t.NClasses = nClasses
 	t.Nodes = t.Nodes[:0]
+	t.flatFore = nil
 	t.Importances = make([]float64, len(x[0]))
 	idx := activeIndices(w, len(x))
 	rng := rand.New(rand.NewSource(t.Cfg.Seed))
@@ -310,20 +322,61 @@ func (t *Classifier) LeafProbs(x []float64) []float64 {
 }
 
 // PredictProbaBatch classifies many rows in one pass (ml.BatchPredictor).
-// The result shares one contiguous backing allocation; rows are written
-// by parallel workers over disjoint chunks, so the output is identical
-// to per-row PredictProba regardless of worker count.
+// The result shares one contiguous backing allocation. When the tree has
+// a flattened representation (built by Fit or WarmFlat) the rows run
+// through the cache-local SoA kernel; otherwise parallel workers walk
+// the pointer nodes over disjoint chunks. Either way the output is
+// bitwise identical to per-row PredictProba for any worker count.
 func (t *Classifier) PredictProbaBatch(x [][]float64) [][]float64 {
 	if len(t.Nodes) == 0 {
 		panic("tree: PredictProbaBatch before Fit")
 	}
 	out := ml.ProbaMatrix(len(x), t.NClasses)
+	if fl := t.flatFore; fl != nil {
+		fl.PredictProbaInto(x, out, 0)
+		return out
+	}
 	ml.ParallelRows(len(x), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			copy(out[i], t.LeafProbs(x[i]))
 		}
 	})
 	return out
+}
+
+// WarmFlat builds the tree's flattened representation if it is missing
+// (idempotent, not safe concurrently with prediction). Fit calls it;
+// models decoded from disk get it from ml.Warm at publication time.
+func (t *Classifier) WarmFlat() {
+	if t.flatFore != nil || len(t.Nodes) == 0 {
+		return
+	}
+	fl := flat.NewForest(t.NClasses, 1, len(t.Nodes))
+	t.Flatten(fl)
+	t.flatFore = fl
+}
+
+// Flatten appends the fitted tree to fl's shared node pool in node-index
+// order, registering its root and depth and packing each leaf's class
+// distribution into fl.LeafProba. Child links are rebased to absolute
+// pool indices so many trees can share the pool (the forest flattens
+// every member into one); leaves become self-loops per the flat package
+// contract.
+func (t *Classifier) Flatten(fl *flat.Forest) {
+	if len(t.Nodes) == 0 {
+		panic("tree: Flatten before Fit")
+	}
+	base := int32(fl.Len())
+	fl.Roots = append(fl.Roots, base)
+	fl.Depths = append(fl.Depths, int32(t.Depth()))
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			fl.AppendLeaf(fl.AppendLeafProba(n.Probs))
+			continue
+		}
+		fl.AppendSplit(int32(n.Feature), n.Threshold, base+n.Left, base+n.Right)
+	}
 }
 
 // Depth returns the maximum depth of the fitted tree (root = 1).
@@ -569,6 +622,34 @@ func (b *regBuilder) bestSplit(idx []int, parent regStats) (feat int, thr, gain 
 		}
 	}
 	return feat, thr, gain
+}
+
+// FlattenInto appends the fitted regression tree to g's shared node
+// pool, registering its root and depth and packing leaf values into
+// g.LeafValue. cols, when non-nil, is the column subset the tree was
+// trained on: split feature ids are remapped through it to the global
+// feature space, so the flattened tree predicts directly from full
+// feature rows with no per-row projection. Leaves become self-loops per
+// the flat package contract.
+func (t *Regressor) FlattenInto(g *flat.GBM, cols []int) {
+	if len(t.Nodes) == 0 {
+		panic("tree: FlattenInto before Fit")
+	}
+	base := int32(g.Len())
+	g.Roots = append(g.Roots, base)
+	g.Depths = append(g.Depths, int32(t.Depth()))
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			g.AppendLeaf(g.AppendLeafValue(n.Value))
+			continue
+		}
+		f := n.Feature
+		if cols != nil {
+			f = cols[f]
+		}
+		g.AppendSplit(int32(f), n.Threshold, base+n.Left, base+n.Right)
+	}
 }
 
 // Predict returns the leaf value for one sample.

@@ -327,8 +327,12 @@ func (s *Server) publish(m ml.Classifier, x [][]float64, y []int, origin string)
 	s.afterSwap(e.Payload)
 }
 
-// newSnapshot assembles the immutable serving state for one model.
+// newSnapshot assembles the immutable serving state for one model. It
+// warms the model's flattened inference structures (ml.Warm) here —
+// once, before the snapshot becomes visible to concurrent traffic — so
+// the hot path never builds them under load.
 func (s *Server) newSnapshot(m ml.Classifier, version uint64) *snapshot {
+	ml.Warm(m)
 	return &snapshot{
 		model:   m,
 		classes: s.cfg.Data.Classes,

@@ -129,6 +129,23 @@ type Config struct {
 	// MaxMissing is the largest fraction of missing cells GapAbstain
 	// tolerates before abstaining; 0 defaults to 0.5.
 	MaxMissing float64
+	// Rolling switches feature extraction to the incremental
+	// sliding-window path: instead of re-extracting every feature from
+	// the whole window at each stride, per-metric rolling state is
+	// updated once per committed sample. Requires an Extractor that
+	// implements features.Incremental and a causal gap policy
+	// (GapHoldLast or GapAbstain) — GapInterpolate reads future samples
+	// inside the window, which an incremental path cannot do.
+	//
+	// Repair semantics under Rolling are stream-global hold-last: a
+	// missing reading repeats the metric's last delivered value even
+	// when that value precedes the current window (0 before the first
+	// delivery). The batch path repairs each window in isolation, so
+	// the two paths agree exactly on windows without missing cells and
+	// differ only in how cells near the edge of a gappy window are
+	// filled. Counter differencing is per-step (d = max(0, x[t] -
+	// x[t-1])), identical to the batch path's ts.DiffCounters.
+	Rolling bool
 }
 
 // Stats counts what the streamer absorbed from an imperfect feed.
@@ -169,6 +186,21 @@ type Streamer struct {
 	pending  map[int][]float64
 	maxT     int // highest claimed timestep buffered or committed
 
+	// Rolling-extraction state (cfg.Rolling). Each metric owns one
+	// rolling window of the causally-prepared series; window length is
+	// Window-1 because counter differencing consumes one sample.
+	roll []features.Rolling
+	// cum caches telemetry.CumulativeFlags(Schema).
+	cum []bool
+	// lastRep is the last delivered (non-NaN) value per metric, the
+	// causal hold-last repair source; starts at 0, matching
+	// ts.HoldLast's all-missing fallback.
+	lastRep []float64
+	// prevRep is the previous repaired reading per metric, the
+	// differencing base; valid once havePrev is set.
+	prevRep  []float64
+	havePrev bool
+
 	stats Stats
 }
 
@@ -201,7 +233,25 @@ func New(cfg Config) (*Streamer, error) {
 	if cfg.MaxMissing == 0 {
 		cfg.MaxMissing = 0.5
 	}
-	return &Streamer{cfg: cfg, pending: map[int][]float64{}}, nil
+	s := &Streamer{cfg: cfg, pending: map[int][]float64{}}
+	if cfg.Rolling {
+		inc, ok := cfg.Extractor.(features.Incremental)
+		if !ok {
+			return nil, fmt.Errorf("stream: extractor %q does not implement features.Incremental; Rolling needs an incremental extractor", cfg.Extractor.Name())
+		}
+		if cfg.Gap == GapInterpolate {
+			return nil, errors.New("stream: Rolling requires a causal gap policy (GapHoldLast or GapAbstain); GapInterpolate reads future samples")
+		}
+		nM := len(cfg.Schema)
+		s.roll = make([]features.Rolling, nM)
+		for m := range s.roll {
+			s.roll[m] = inc.NewRolling(cfg.Window - 1)
+		}
+		s.cum = telemetry.CumulativeFlags(cfg.Schema)
+		s.lastRep = make([]float64, nM)
+		s.prevRep = make([]float64, nM)
+	}
+	return s, nil
 }
 
 // Push appends one timestep's readings in arrival order (NaN marks
@@ -307,6 +357,9 @@ func (s *Streamer) commit(row []float64) (*Diagnosis, error) {
 	if len(s.buf) > s.cfg.Window {
 		s.buf = s.buf[1:]
 	}
+	if s.roll != nil {
+		s.pushRolling(row)
+	}
 	s.count++
 	s.since++
 	if len(s.buf) < s.cfg.Window || s.since < s.cfg.Stride {
@@ -314,6 +367,45 @@ func (s *Streamer) commit(row []float64) (*Diagnosis, error) {
 	}
 	s.since = 0
 	return s.diagnoseWindow()
+}
+
+// pushRolling advances the incremental extraction state by one
+// committed reading: causal hold-last repair, per-step counter
+// differencing, then one Push per metric roller. The first reading only
+// seeds the differencing base (the batch path's DiffCounters likewise
+// consumes one sample), so each roller holds Window-1 prepared values
+// exactly when the raw ring holds Window readings.
+func (s *Streamer) pushRolling(row []float64) {
+	for m, v := range row {
+		if math.IsNaN(v) {
+			v = s.lastRep[m]
+		} else {
+			s.lastRep[m] = v
+		}
+		if s.havePrev {
+			d := v
+			if s.cum[m] {
+				d = v - s.prevRep[m]
+				if d < 0 {
+					d = 0 // counter wrap/reset, as in ts.Diff
+				}
+			}
+			s.roll[m].Push(d)
+		}
+		s.prevRep[m] = v
+	}
+	s.havePrev = true
+}
+
+// rollingVector renders the current feature vector from the per-metric
+// rollers, concatenated in metric order like features.ExtractSample.
+func (s *Streamer) rollingVector() []float64 {
+	per := len(s.cfg.Extractor.FeatureNames())
+	vec := make([]float64, len(s.roll)*per)
+	for m := range s.roll {
+		s.roll[m].Features(vec[m*per : (m+1)*per])
+	}
+	return vec
 }
 
 // diagnoseWindow repairs, prepares and classifies the current buffer.
@@ -325,13 +417,15 @@ func (s *Streamer) diagnoseWindow() (*Diagnosis, error) {
 	s.stats.Windows++
 	windowsTotal.Inc()
 	nM := len(s.cfg.Schema)
-	block := ts.NewMultivariate(nM, len(s.buf))
-	for t, row := range s.buf {
-		for m := 0; m < nM; m++ {
-			block.Metrics[m][t] = row[m]
+	nanCells := 0
+	for _, row := range s.buf {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				nanCells++
+			}
 		}
 	}
-	missing := float64(ts.CountNaN(block)) / float64(nM*len(s.buf))
+	missing := float64(nanCells) / float64(nM*len(s.buf))
 	if s.cfg.Gap == GapAbstain && missing > s.cfg.MaxMissing {
 		s.stats.Abstained++
 		abstainedTotal.Inc()
@@ -340,15 +434,26 @@ func (s *Streamer) diagnoseWindow() (*Diagnosis, error) {
 			MissingFrac: missing, WindowEnd: s.count - 1,
 		}, nil
 	}
-	if s.cfg.Gap == GapHoldLast {
-		ts.HoldLastAll(block)
+	var vec []float64
+	if s.roll != nil {
+		vec = s.rollingVector()
 	} else {
-		ts.InterpolateAll(block)
+		block := ts.NewMultivariate(nM, len(s.buf))
+		for t, row := range s.buf {
+			for m := 0; m < nM; m++ {
+				block.Metrics[m][t] = row[m]
+			}
+		}
+		if s.cfg.Gap == GapHoldLast {
+			ts.HoldLastAll(block)
+		} else {
+			ts.InterpolateAll(block)
+		}
+		if err := ts.DiffCounters(block, telemetry.CumulativeFlags(s.cfg.Schema)); err != nil {
+			return nil, err
+		}
+		vec = features.ExtractSample(s.cfg.Extractor, block)
 	}
-	if err := ts.DiffCounters(block, telemetry.CumulativeFlags(s.cfg.Schema)); err != nil {
-		return nil, err
-	}
-	vec := features.ExtractSample(s.cfg.Extractor, block)
 	features.Sanitize(vec)
 	label, conf, err := s.cfg.Diagnose(vec)
 	if err != nil {
@@ -385,6 +490,14 @@ func (s *Streamer) Reset() {
 	s.nextT = 0
 	s.maxT = 0
 	s.pending = map[int][]float64{}
+	for m := range s.roll {
+		s.roll[m].Reset()
+	}
+	for m := range s.lastRep {
+		s.lastRep[m] = 0
+		s.prevRep[m] = 0
+	}
+	s.havePrev = false
 	s.stats = Stats{}
 }
 

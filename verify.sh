@@ -5,10 +5,12 @@
 #
 #   ./verify.sh          # the standard gate
 #   ./verify.sh --deep   # additionally: fuzz smokes (CSV parser,
-#                        # stream ingest), the serving benchmark against
-#                        # BENCH_4.json, the experiment-engine benchmark
-#                        # against BENCH_5.json, and the coverage floor
-#                        # gate against coverage_baseline.txt
+#                        # stream ingest, rolling extractor), the serving
+#                        # benchmark against BENCH_4.json, the experiment-
+#                        # engine benchmark against BENCH_5.json, the
+#                        # raw-speed benchmark against BENCH_7.json, and
+#                        # the coverage floor gate against
+#                        # coverage_baseline.txt
 set -eu
 
 deep=0
@@ -46,6 +48,9 @@ if [ "$deep" -eq 1 ]; then
   echo "== fuzz smoke: FuzzPushAt (10s)"
   go test -fuzz=FuzzPushAt -fuzztime=10s ./internal/stream/
 
+  echo "== fuzz smoke: FuzzRollerEquivalence (10s)"
+  go test -fuzz=FuzzRollerEquivalence -fuzztime=10s ./internal/features/rolling/
+
   echo "== serving benchmark vs BENCH_4.json (see docs/TESTING.md)"
   go run ./cmd/loadgen -selfcheck -duration 2s -trials 2 \
     -baseline BENCH_4.json -tolerance 0.20 -min-speedup 2.5
@@ -53,6 +58,16 @@ if [ "$deep" -eq 1 ]; then
   echo "== experiment-engine benchmark vs BENCH_5.json (see docs/TESTING.md)"
   go run ./cmd/experiments -bench -bench-trials 2 \
     -bench-baseline BENCH_5.json -bench-tolerance 0.20 -bench-min-speedup 2.5
+
+  echo "== raw-speed benchmark vs BENCH_7.json (see docs/PERFORMANCE.md)"
+  # Gates the ISSUE 7 contracts: forest flat-vs-pointer batch speedup
+  # >= 3x (same-run ratio), flattened-vs-pointer predictions bitwise
+  # identical, rolling-vs-scratch equivalence within 1e-9, zero
+  # steady-state push allocations. BENCH7_OUT (used by CI) writes the
+  # fresh report for artifact upload.
+  go run ./cmd/experiments -bench7 -bench-trials 2 \
+    -bench7-baseline BENCH_7.json -bench-tolerance 0.20 -bench7-min-speedup 3.0 \
+    ${BENCH7_OUT:+-bench7-out "$BENCH7_OUT"}
 
   echo "== coverage floors vs coverage_baseline.txt"
   go test -cover ./internal/server/ ./internal/stream/ ./internal/active/ \
