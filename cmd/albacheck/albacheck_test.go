@@ -81,6 +81,19 @@ func runOnFixture(a *Analyzer, files []*ast.File, pkg *types.Package, info *type
 	return diags
 }
 
+// runGlobalOnFixture executes one global analyzer over a fixture
+// package as a single-unit program.
+func runGlobalOnFixture(a *Analyzer, files []*ast.File, pkg *types.Package, info *types.Info, root string) []Diagnostic {
+	var diags []Diagnostic
+	unit := &PkgUnit{Files: files, Pkg: pkg, Info: info, Path: "fixture"}
+	g := &GlobalPass{
+		Prog: buildProgram(fixtureFset, []*PkgUnit{unit}), RootDir: root,
+		analyzer: a, diags: &diags,
+	}
+	a.RunGlobal(g)
+	return diags
+}
+
 // wantRx extracts the quoted expectations from a // want comment.
 var wantRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 
@@ -156,14 +169,67 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{errsilentAnalyzer, "."},
 		{metricnamesAnalyzer, filepath.Join("testdata", "metricnames")},
 		{godocAnalyzer, "."},
+		{goroleakAnalyzer, "."},
+		{atomicsafeAnalyzer, "."},
+		{hotallocAnalyzer, "."},
+		{detflowAnalyzer, "."},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {
 			dir := filepath.Join("testdata", tc.analyzer.Name)
 			files, pkg, info := loadFixture(t, dir)
-			diags := runOnFixture(tc.analyzer, files, pkg, info, tc.root)
+			var diags []Diagnostic
+			if tc.analyzer.RunGlobal != nil {
+				diags = runGlobalOnFixture(tc.analyzer, files, pkg, info, tc.root)
+			} else {
+				diags = runOnFixture(tc.analyzer, files, pkg, info, tc.root)
+			}
 			checkAgainstWants(t, diags, collectWants(t, files))
 		})
+	}
+}
+
+// TestAnalyzerCount pins the registry size: an analyzer dropped from (or
+// added to) the registration list must be a deliberate, visible change.
+// verify.sh passes the same number via -expect-analyzers.
+func TestAnalyzerCount(t *testing.T) {
+	if len(analyzers) != 10 {
+		names := make([]string, 0, len(analyzers))
+		for _, a := range analyzers {
+			names = append(names, a.Name)
+		}
+		t.Fatalf("registry has %d analyzers, want 10: %s", len(analyzers), strings.Join(names, ", "))
+	}
+}
+
+// TestRepoSweepClean runs the full ten-analyzer sweep over the real
+// repository — the same scope verify.sh gates — and asserts it is
+// finding-free: every remaining hit must be fixed or suppressed with a
+// written reason. It also proves the hot paths promised zero-alloc in
+// docs/PERFORMANCE.md really scan clean, and that the suppression
+// machinery is live (a sweep with zero recorded suppressions would mean
+// the comments stopped matching, not that the code got perfect).
+func TestRepoSweepClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo type-check is slow; skipped with -short")
+	}
+	res, err := Check([]string{"../../internal/...", "../../cmd/...", "../../examples/..."}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("sweep finding at %s:%d: [%s] %s", d.File, d.Line, d.Analyzer, d.Message)
+	}
+	if res.Summary.SuppressedTotal == 0 {
+		t.Error("sweep recorded zero suppressions; the ignore comments are no longer matching")
+	}
+	for _, s := range res.Suppressed {
+		if s.Reason == "" {
+			t.Errorf("suppression without a reason at %s:%d [%s]", s.File, s.Line, s.Analyzer)
+		}
+	}
+	if got := res.Summary.AnalyzersRun; got != 10 {
+		t.Errorf("sweep ran %d analyzers, want 10", got)
 	}
 }
 

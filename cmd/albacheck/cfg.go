@@ -1,0 +1,351 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the intra-procedural control-flow layer: a lightweight
+// basic-block CFG over one function body plus a forward dataflow
+// fixpoint, used by detflow's taint tracking. The builder covers the
+// statement forms this repository uses (if/for/range/switch/select,
+// break/continue/return); what it approximates, it approximates
+// conservatively: goto falls through to the function exit, fallthrough
+// and labeled branches merge at the enclosing statement's exit, so a
+// taint is never dropped on a path the builder simplified.
+
+// cfgBlock is one basic block: a run of straight-line statements and
+// its successor edges.
+type cfgBlock struct {
+	stmts []ast.Stmt
+	succs []*cfgBlock
+	// inMapRange counts how many enclosing range-over-map bodies the
+	// block sits in; detflow uses it to taint containers built in map
+	// iteration order.
+	inMapRange int
+	index      int
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	blocks []*cfgBlock
+	entry  *cfgBlock
+	exit   *cfgBlock
+}
+
+// loopCtx tracks the jump targets of one enclosing loop (or switch, for
+// break) while building.
+type loopCtx struct {
+	label    string
+	cont     *cfgBlock // continue target (nil for switch/select)
+	brk      *cfgBlock // break target
+	isSwitch bool
+}
+
+// cfgBuilder carries the state of one build.
+type cfgBuilder struct {
+	info     *types.Info
+	g        *funcCFG
+	loops    []loopCtx
+	mapDepth int
+}
+
+// buildCFG constructs the CFG of one function body.
+func buildCFG(info *types.Info, body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{info: info, g: &funcCFG{}}
+	b.g.exit = b.newBlock() // exit first so entry is blocks[1]... keep order below
+	b.g.entry = b.newBlock()
+	last := b.stmtList(b.g.entry, body.List)
+	if last != nil {
+		b.edge(last, b.g.exit)
+	}
+	return b.g
+}
+
+// newBlock appends a fresh block, recording the current map-range depth.
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{inMapRange: b.mapDepth, index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// edge links from → to.
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+// stmtList threads a statement list through cur, returning the block
+// control flows out of (nil when every path terminated).
+func (b *cfgBuilder) stmtList(cur *cfgBlock, list []ast.Stmt) *cfgBlock {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after return/branch; park it in a fresh
+			// orphan block so its statements are still scanned for
+			// reporting (conservative, and trivially rare in practice).
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s, "")
+	}
+	return cur
+}
+
+// stmt threads one statement; label is the enclosing label name when
+// the statement was wrapped in a LabeledStmt.
+func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt, label string) *cfgBlock {
+	switch x := s.(type) {
+	case *ast.LabeledStmt:
+		return b.stmt(cur, x.Stmt, x.Label.Name)
+
+	case *ast.BlockStmt:
+		return b.stmtList(cur, x.List)
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			cur.stmts = append(cur.stmts, x.Init)
+		}
+		cur.stmts = append(cur.stmts, &ast.ExprStmt{X: x.Cond})
+		after := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		if out := b.stmtList(thenB, x.Body.List); out != nil {
+			b.edge(out, after)
+		}
+		if x.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			if out := b.stmt(elseB, x.Else, ""); out != nil {
+				b.edge(out, after)
+			}
+		} else {
+			b.edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			cur.stmts = append(cur.stmts, x.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if x.Cond != nil {
+			head.stmts = append(head.stmts, &ast.ExprStmt{X: x.Cond})
+		}
+		after := b.newBlock()
+		post := b.newBlock()
+		if x.Post != nil {
+			post.stmts = append(post.stmts, x.Post)
+		}
+		b.edge(post, head)
+		if x.Cond != nil {
+			b.edge(head, after)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.loops = append(b.loops, loopCtx{label: label, cont: post, brk: after})
+		if out := b.stmtList(body, x.Body.List); out != nil {
+			b.edge(out, post)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		// The RangeStmt itself sits in the head so transfer functions
+		// see the key/value assignment and the ranged expression.
+		head.stmts = append(head.stmts, x)
+		b.edge(cur, head)
+		after := b.newBlock()
+		b.edge(head, after)
+		overMap := false
+		if b.info != nil {
+			if t := b.info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					overMap = true
+				}
+			}
+		}
+		if overMap {
+			b.mapDepth++
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.loops = append(b.loops, loopCtx{label: label, cont: head, brk: after})
+		if out := b.stmtList(body, x.Body.List); out != nil {
+			b.edge(out, head)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		if overMap {
+			b.mapDepth--
+		}
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return b.switchLike(cur, x, label)
+
+	case *ast.ReturnStmt:
+		cur.stmts = append(cur.stmts, x)
+		b.edge(cur, b.g.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.stmts = append(cur.stmts, x)
+		if t := b.branchTarget(x); t != nil {
+			b.edge(cur, t)
+		} else {
+			// goto, or a label the simple matcher missed: conservatively
+			// merge at the function exit.
+			b.edge(cur, b.g.exit)
+		}
+		return nil
+
+	default:
+		cur.stmts = append(cur.stmts, s)
+		return cur
+	}
+}
+
+// switchLike threads switch, type switch and select: every clause is a
+// parallel successor of the head, merging at one exit block.
+func (b *cfgBuilder) switchLike(cur *cfgBlock, s ast.Stmt, label string) *cfgBlock {
+	after := b.newBlock()
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			cur.stmts = append(cur.stmts, x.Init)
+		}
+		if x.Tag != nil {
+			cur.stmts = append(cur.stmts, &ast.ExprStmt{X: x.Tag})
+		}
+		clauses = x.Body.List
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			cur.stmts = append(cur.stmts, x.Init)
+		}
+		cur.stmts = append(cur.stmts, x.Assign)
+		clauses = x.Body.List
+	case *ast.SelectStmt:
+		clauses = x.Body.List
+	}
+	b.loops = append(b.loops, loopCtx{label: label, brk: after, isSwitch: true})
+	for _, cs := range clauses {
+		blk := b.newBlock()
+		b.edge(cur, blk)
+		var body []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.stmts = append(blk.stmts, c.Comm)
+			}
+			body = c.Body
+		}
+		if out := b.stmtList(blk, body); out != nil {
+			b.edge(out, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(cur, after)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	return after
+}
+
+// branchTarget resolves break/continue to its enclosing loop (or
+// switch) context; nil for goto/fallthrough or unmatched labels.
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt) *cfgBlock {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			if name == "" || b.loops[i].label == name {
+				return b.loops[i].brk
+			}
+		}
+	case "continue":
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			if b.loops[i].isSwitch {
+				continue
+			}
+			if name == "" || b.loops[i].label == name {
+				return b.loops[i].cont
+			}
+		}
+	}
+	return nil
+}
+
+// --- forward dataflow ----------------------------------------------------
+
+// taint is a bitmask of taint kinds a value can carry.
+type taint uint8
+
+const (
+	// taintClock marks values derived from the wall clock (time.Now,
+	// time.Since): nondeterministic across runs.
+	taintClock taint = 1 << iota
+	// taintMapOrder marks containers whose element order came from map
+	// iteration: nondeterministic within a run.
+	taintMapOrder
+)
+
+// taintState maps variables to their taint at a program point.
+type taintState map[types.Object]taint
+
+// clone copies a state.
+func (s taintState) clone() taintState {
+	out := make(taintState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeInto unions other into s, reporting whether s changed.
+func (s taintState) mergeInto(other taintState) bool {
+	changed := false
+	for k, v := range other {
+		if s[k]&v != v {
+			s[k] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// forward runs a forward may-analysis to fixpoint: transfer mutates the
+// per-statement state in place, block entry states are the union of
+// predecessor exits. It returns each block's entry state, which a
+// reporting sweep replays through transfer once more.
+func (g *funcCFG) forward(transfer func(blk *cfgBlock, stmt ast.Stmt, state taintState)) map[*cfgBlock]taintState {
+	in := map[*cfgBlock]taintState{}
+	for _, blk := range g.blocks {
+		in[blk] = taintState{}
+	}
+	work := make([]*cfgBlock, 0, len(g.blocks))
+	work = append(work, g.blocks...)
+	for iter := 0; len(work) > 0 && iter < 10000; iter++ {
+		blk := work[0]
+		work = work[1:]
+		state := in[blk].clone()
+		for _, s := range blk.stmts {
+			transfer(blk, s, state)
+		}
+		for _, succ := range blk.succs {
+			if in[succ].mergeInto(state) {
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}

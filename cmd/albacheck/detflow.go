@@ -1,0 +1,333 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// detflowAnalyzer extends seedrand's point checks into intra-procedural
+// taint tracking over the CFG (cfg.go): it follows nondeterministic
+// values through assignments and reports when one reaches committed
+// output. Two taints exist. Clock taint (time.Now / time.Since /
+// time.Until) makes an artifact differ between identical runs; it is a
+// finding when it flows into an artifact sink (os.WriteFile, a
+// fmt.Fprint* writer other than stdout/stderr, csv/json encoders) or is
+// captured by a runner.ForEach / ml.ParallelRows worker closure.
+// Map-order taint marks containers appended to inside range-over-map —
+// ordered output built that way shuffles per run; a sort.* / slices.*
+// call on the container clears it. Emitting directly to a sink from
+// inside a range-over-map body is reported unconditionally.
+//
+// The analysis is intra-procedural and does not follow taint into
+// function-literal bodies' own locals; captured variables are checked
+// with the enclosing function's state, which is the case that matters
+// for the experiment writers.
+var detflowAnalyzer = &Analyzer{
+	Name: "detflow",
+	Doc:  "wall-clock or map-order nondeterminism flowing into artifacts or parallel cells",
+	Applies: appliesTo(
+		"albadross/internal/experiments",
+		"albadross/internal/eval",
+		"albadross/internal/report",
+		"albadross/cmd/experiments",
+		"albadross/cmd/datagen",
+	),
+	Run: runDetflow,
+}
+
+func runDetflow(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			checkDetflow(p, d)
+		}
+	}
+}
+
+// checkDetflow runs the taint fixpoint over one function, then replays
+// it block by block to report sinks with the state at each statement.
+func checkDetflow(p *Pass, d *ast.FuncDecl) {
+	g := buildCFG(p.Info, d.Body)
+	transfer := func(blk *cfgBlock, stmt ast.Stmt, state taintState) {
+		detflowTransfer(p.Info, blk, stmt, state)
+	}
+	in := g.forward(transfer)
+	for _, blk := range g.blocks {
+		state := in[blk].clone()
+		for _, stmt := range blk.stmts {
+			reportSinks(p, blk, stmt, state)
+			transfer(blk, stmt, state)
+		}
+	}
+}
+
+// detflowTransfer is the dataflow transfer function: it updates state
+// for one statement.
+func detflowTransfer(info *types.Info, blk *cfgBlock, stmt ast.Stmt, state taintState) {
+	switch x := stmt.(type) {
+	case *ast.AssignStmt:
+		strong := x.Tok == token.ASSIGN || x.Tok == token.DEFINE
+		assign := func(lhs ast.Expr, t taint) {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := identObj(info, id)
+			if obj == nil {
+				return
+			}
+			if strong {
+				state[obj] = t
+			} else {
+				state[obj] |= t
+			}
+			if state[obj] == 0 {
+				delete(state, obj)
+			}
+		}
+		if len(x.Rhs) == len(x.Lhs) {
+			for i, rhs := range x.Rhs {
+				t := exprTaint(info, rhs, state)
+				if blk.inMapRange > 0 && containsAppend(info, rhs) {
+					t |= taintMapOrder
+				}
+				assign(x.Lhs[i], t)
+			}
+		} else if len(x.Rhs) == 1 {
+			t := exprTaint(info, x.Rhs[0], state)
+			if blk.inMapRange > 0 && containsAppend(info, x.Rhs[0]) {
+				t |= taintMapOrder
+			}
+			for _, lhs := range x.Lhs {
+				assign(lhs, t)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := x.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				if obj := info.Defs[name]; obj != nil {
+					if t := exprTaint(info, vs.Values[i], state); t != 0 {
+						state[obj] = t
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		t := exprTaint(info, x.X, state)
+		for _, e := range []ast.Expr{x.Key, x.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				if obj := identObj(info, id); obj != nil && t != 0 {
+					state[obj] |= t
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			clearSorted(info, call, state)
+		}
+	}
+}
+
+// clearSorted removes map-order taint from a variable passed to a
+// sort.* / slices.Sort* call: the order is deterministic afterwards.
+func clearSorted(info *types.Info, call *ast.CallExpr, state taintState) {
+	f := funcFor(info, call)
+	if f == nil {
+		return
+	}
+	if p := funcPkgPath(f); p != "sort" && p != "slices" {
+		return
+	}
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if obj := identObj(info, id); obj != nil {
+				state[obj] &^= taintMapOrder
+				if state[obj] == 0 {
+					delete(state, obj)
+				}
+			}
+		}
+	}
+}
+
+// identObj resolves an identifier to its object (use or definition).
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// exprTaint computes the taint of an expression: the union over every
+// referenced variable's taint, plus clock taint for any wall-clock call
+// in the tree. Calls propagate their arguments' taint to their result —
+// intra-procedural, so json.Marshal(taintedReport) stays tainted.
+func exprTaint(info *types.Info, e ast.Expr, state taintState) taint {
+	var t taint
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // closure bodies are not evaluated here
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				t |= state[obj]
+			}
+		case *ast.CallExpr:
+			if isClockCall(info, x) {
+				t |= taintClock
+			}
+		}
+		return true
+	})
+	return t
+}
+
+// isClockCall reports time.Now / time.Since / time.Until.
+func isClockCall(info *types.Info, call *ast.CallExpr) bool {
+	f := funcFor(info, call)
+	if f == nil || isMethod(f) || funcPkgPath(f) != "time" {
+		return false
+	}
+	switch f.Name() {
+	case "Now", "Since", "Until":
+		return true
+	}
+	return false
+}
+
+// containsAppend reports whether the expression tree contains a call to
+// the append builtin.
+func containsAppend(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && builtinName(info, call) == "append" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// reportSinks scans one statement (closures included) for sink calls
+// and reports tainted flows with the state at this program point.
+func reportSinks(p *Pass, blk *cfgBlock, stmt ast.Stmt, state taintState) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fanOutCallees[calleeName(call)] {
+			checkCellCaptures(p, call, state)
+		}
+		kind, ok := sinkKind(p.Info, call)
+		if !ok {
+			return true
+		}
+		if blk.inMapRange > 0 {
+			p.Reportf(call.Pos(), "%s inside range-over-map emits in nondeterministic order; collect the keys, sort them, then write", kind)
+			return true
+		}
+		for _, arg := range sinkArgs(kind, call) {
+			t := exprTaint(p.Info, arg, state)
+			if t&taintClock != 0 {
+				p.Reportf(arg.Pos(), "wall-clock-derived value reaches %s; committed artifacts must be a pure function of configuration and seed", kind)
+			}
+			if t&taintMapOrder != 0 {
+				p.Reportf(arg.Pos(), "value assembled in map-iteration order reaches %s; sort it first — map order is randomized per run", kind)
+			}
+		}
+		return true
+	})
+}
+
+// sinkKind classifies artifact sinks: returns a human label and whether
+// the call is one.
+func sinkKind(info *types.Info, call *ast.CallExpr) (string, bool) {
+	f := funcFor(info, call)
+	if f == nil {
+		return "", false
+	}
+	pkg, name := funcPkgPath(f), f.Name()
+	switch {
+	case pkg == "os" && name == "WriteFile":
+		return "os.WriteFile", true
+	case pkg == "fmt" && (name == "Fprint" || name == "Fprintf" || name == "Fprintln"):
+		if len(call.Args) > 0 {
+			w := exprString(ast.Unparen(call.Args[0]))
+			if w == "os.Stdout" || w == "os.Stderr" {
+				return "", false // process chatter, not an artifact
+			}
+		}
+		return "fmt." + name + " writer output", true
+	case pkg == "encoding/csv" && (name == "Write" || name == "WriteAll"):
+		return "csv writer output", true
+	case pkg == "encoding/json" && name == "Encode":
+		return "json encoder output", true
+	}
+	return "", false
+}
+
+// sinkArgs selects the arguments that become artifact content: for
+// fmt.Fprint* everything after the writer, otherwise every argument
+// (os.WriteFile's name argument counts — timestamped filenames are
+// nondeterministic artifacts too).
+func sinkArgs(kind string, call *ast.CallExpr) []ast.Expr {
+	if len(call.Args) > 1 && (kind == "fmt.Fprint writer output" ||
+		kind == "fmt.Fprintf writer output" || kind == "fmt.Fprintln writer output") {
+		return call.Args[1:]
+	}
+	return call.Args
+}
+
+// checkCellCaptures reports wall-clock-tainted variables captured by a
+// fan-out worker closure: every cell sees the same nondeterministic
+// value, so the sweep's outputs stop being a function of (config, seed,
+// cell index).
+func checkCellCaptures(p *Pass, call *ast.CallExpr, state taintState) {
+	for _, arg := range call.Args {
+		lit, ok := arg.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		seen := map[types.Object]bool{}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil || seen[obj] || state[obj]&taintClock == 0 {
+				return true
+			}
+			// Captured means declared outside the literal.
+			if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+				return true
+			}
+			seen[obj] = true
+			p.Reportf(id.Pos(), "wall-clock-derived %q is captured by a parallel worker closure; cells must compute state from their index and configuration", id.Name)
+			return true
+		})
+	}
+}

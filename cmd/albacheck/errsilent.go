@@ -20,8 +20,8 @@ import (
 // handling or an //albacheck:ignore with a written reason.
 var errsilentAnalyzer = &Analyzer{
 	Name:    "errsilent",
-	Doc:     "unchecked error returns and _ = err discards in internal/ code",
-	Applies: appliesTo("albadross/internal"),
+	Doc:     "unchecked error returns and _ = err discards in internal/ and cmd/ code",
+	Applies: appliesTo("albadross/internal", "albadross/cmd"),
 	Run:     runErrsilent,
 }
 
@@ -113,14 +113,23 @@ func checkBlankErr(p *Pass, a *ast.AssignStmt) {
 		if t == nil || !isErrorType(t) {
 			continue
 		}
-		if len(a.Rhs) >= 1 {
-			if c, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr); ok {
+		// The producing expression sits at position i for one-to-one
+		// assignments and at position 0 for a multi-result call. Keep
+		// scanning after a report: `_, _ = f(), g()` discards two errors.
+		var rhs ast.Expr
+		if len(a.Rhs) == len(a.Lhs) {
+			rhs = a.Rhs[i]
+		} else if len(a.Rhs) == 1 {
+			rhs = a.Rhs[0]
+		}
+		if rhs != nil {
+			if c, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
 				if name, ok := calleeKey(p.Info, c); ok {
 					if _, allowed := errAllowlist[name]; allowed {
-						return
+						continue
 					}
 					p.Reportf(id.Pos(), "error from %s discarded into _; handle it or add //albacheck:ignore errsilent <reason>", name)
-					return
+					continue
 				}
 			}
 		}

@@ -6,17 +6,19 @@ import (
 )
 
 // godocAnalyzer is the former cmd/doccheck folded into the suite: it
-// fails when a package's document surface is incomplete. Every package
-// under internal/ (doccheck covered only obs, stream and server) must
-// carry a package comment, and every exported top-level declaration —
-// types, funcs, methods on exported receivers, and each exported
-// const/var (a documented group covers its members) — needs a doc
-// comment. Test files are already excluded from the pass.
+// fails when a package's document surface is incomplete. Every swept
+// package — internal/, cmd/ and examples/ alike — must carry a package
+// comment, and every exported top-level declaration — types, funcs,
+// methods on exported receivers, and each exported const/var (a
+// documented group covers its members) — needs a doc comment. Test
+// files are already excluded from the pass, and the driver's pattern
+// expansion (expandPatterns) exempts testdata trees and committed fuzz
+// corpora explicitly, so widening past internal/ cannot drag fixture
+// packages or corpus files into this check.
 var godocAnalyzer = &Analyzer{
-	Name:    "godoc",
-	Doc:     "exported identifiers and packages without doc comments in internal/",
-	Applies: appliesTo("albadross/internal"),
-	Run:     runGodoc,
+	Name: "godoc",
+	Doc:  "exported identifiers and packages without doc comments",
+	Run:  runGodoc,
 }
 
 func runGodoc(p *Pass) {

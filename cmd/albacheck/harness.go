@@ -12,12 +12,15 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
-// Analyzer is one named check. Run inspects a type-checked package via
-// the Pass and reports findings with Pass.Reportf; Applies (nil = run
-// everywhere) restricts the analyzer to the import paths whose
-// invariants it encodes.
+// Analyzer is one named check. Per-package analyzers implement Run,
+// which inspects a type-checked package via the Pass and reports
+// findings with Pass.Reportf; Applies (nil = run everywhere) restricts
+// them to the import paths whose invariants they encode. Whole-program
+// analyzers implement RunGlobal instead: they run once per sweep, after
+// every package is type-checked, against the Program's call graph.
 type Analyzer struct {
 	// Name is the flag, suppression and report identifier.
 	Name string
@@ -25,11 +28,16 @@ type Analyzer struct {
 	Doc string
 	// Applies filters by package import path; nil runs on every package.
 	Applies func(pkgPath string) bool
-	// Run performs the check on one package.
+	// Run performs the check on one package (per-package analyzers).
 	Run func(p *Pass)
+	// RunGlobal performs the check once over the whole program (global
+	// analyzers). Exactly one of Run and RunGlobal is set.
+	RunGlobal func(g *GlobalPass)
 }
 
-// analyzers is the registered suite, in report order.
+// analyzers is the registered suite, in report order. verify.sh pins
+// the length with -expect-analyzers so a silently dropped registration
+// fails the gate.
 var analyzers = []*Analyzer{
 	locksafeAnalyzer,
 	seedrandAnalyzer,
@@ -37,6 +45,10 @@ var analyzers = []*Analyzer{
 	errsilentAnalyzer,
 	metricnamesAnalyzer,
 	godocAnalyzer,
+	goroleakAnalyzer,
+	atomicsafeAnalyzer,
+	hotallocAnalyzer,
+	detflowAnalyzer,
 }
 
 // analyzerNames reports whether name identifies a registered analyzer.
@@ -120,6 +132,12 @@ type Summary struct {
 	SuppressedByAnalyzer map[string]int `json:"suppressed_by_analyzer"`
 	// Packages counts the packages checked.
 	Packages int `json:"packages"`
+	// AnalyzersRun counts the analyzers that executed this sweep; CI
+	// asserts it against the expected suite size (-expect-analyzers).
+	AnalyzersRun int `json:"analyzers_run"`
+	// TimingMS is each analyzer's wall-clock cost for the sweep in
+	// milliseconds (per-package analyzers are summed across packages).
+	TimingMS map[string]float64 `json:"timing_ms"`
 }
 
 // Check expands the package patterns, type-checks every matched
@@ -138,7 +156,8 @@ func Check(patterns []string, active []*Analyzer) (*Result, error) {
 
 	var diags []Diagnostic
 	var files []*ast.File // every file seen, for suppression scanning
-	npkgs := 0
+	var units []*PkgUnit  // every package seen, for the global analyzers
+	timing := map[string]float64{}
 	for _, dir := range dirs {
 		pkgFiles, pkgPath, err := parsePackage(fset, root, modPath, dir)
 		if err != nil {
@@ -147,11 +166,11 @@ func Check(patterns []string, active []*Analyzer) (*Result, error) {
 		if len(pkgFiles) == 0 {
 			continue
 		}
-		npkgs++
 		files = append(files, pkgFiles...)
 		pkg, info := typeCheck(fset, imp, pkgPath, pkgFiles)
+		units = append(units, &PkgUnit{Files: pkgFiles, Pkg: pkg, Info: info, Path: pkgPath})
 		for _, a := range active {
-			if a.Applies != nil && !a.Applies(pkgPath) {
+			if a.Run == nil || (a.Applies != nil && !a.Applies(pkgPath)) {
 				continue
 			}
 			p := &Pass{
@@ -159,7 +178,26 @@ func Check(patterns []string, active []*Analyzer) (*Result, error) {
 				PkgPath: pkgPath, RootDir: root,
 				analyzer: a, diags: &diags,
 			}
+			start := time.Now()
 			a.Run(p)
+			timing[a.Name] += float64(time.Since(start).Nanoseconds()) / 1e6
+		}
+	}
+
+	// Global analyzers see every package at once through the call graph.
+	prog := buildProgram(fset, units)
+	for _, a := range active {
+		if a.RunGlobal == nil {
+			continue
+		}
+		g := &GlobalPass{Prog: prog, RootDir: root, analyzer: a, diags: &diags}
+		start := time.Now()
+		a.RunGlobal(g)
+		timing[a.Name] += float64(time.Since(start).Nanoseconds()) / 1e6
+	}
+	for _, a := range active {
+		if _, ok := timing[a.Name]; !ok {
+			timing[a.Name] = 0 // ran zero packages (Applies matched none)
 		}
 	}
 
@@ -170,7 +208,9 @@ func Check(patterns []string, active []*Analyzer) (*Result, error) {
 		SuppressedTotal:      len(suppressed),
 		ByAnalyzer:           countByAnalyzer(kept),
 		SuppressedByAnalyzer: countByAnalyzer(suppressed),
-		Packages:             npkgs,
+		Packages:             len(units),
+		AnalyzersRun:         len(active),
+		TimingMS:             timing,
 	}
 	return res, nil
 }
@@ -209,8 +249,15 @@ func findModule(dir string) (root, modPath string, err error) {
 
 // expandPatterns resolves the argument list to a sorted set of package
 // directories, expanding trailing /... patterns into every directory
-// under the prefix that contains a non-test .go file. testdata trees
-// and dotted directories are skipped.
+// under the prefix that contains a non-test .go file.
+//
+// Skipped subtrees are an explicit exemption list, not a build-tag
+// accident: testdata trees (analyzer fixtures, committed fuzz corpora
+// under testdata/fuzz/ — corpus entries are not Go source, and the
+// fixture packages deliberately contain findings), dotted directories,
+// and underscore-prefixed directories (ignored by the go tool). The
+// sweep covering cmd/ relies on this: cmd/albacheck's own fixture
+// packages must never be swept as production code.
 func expandPatterns(patterns []string) ([]string, error) {
 	seen := map[string]bool{}
 	for _, a := range patterns {
@@ -225,7 +272,8 @@ func expandPatterns(patterns []string) ([]string, error) {
 				return err
 			}
 			if d.IsDir() {
-				if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				if name := d.Name(); name != "." &&
+					(strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
 					return filepath.SkipDir
 				}
 				return nil
@@ -297,7 +345,7 @@ func typeCheck(fset *token.FileSet, imp types.Importer, pkgPath string, files []
 		Importer: imp,
 		Error:    func(error) {}, // keep going on type errors; facts stay partial
 	}
-	pkg, _ := conf.Check(pkgPath, fset, files, info)
+	pkg, _ := conf.Check(pkgPath, fset, files, info) //albacheck:ignore errsilent type errors are tolerated by design; analyzers run on whatever facts resolved
 	return pkg, info
 }
 
@@ -498,6 +546,24 @@ func isMethod(f *types.Func) bool {
 // under it.
 func pathHasPrefix(pkgPath, prefix string) bool {
 	return pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/")
+}
+
+// inspectWithStack walks the subtree like ast.Inspect while exposing
+// the ancestor chain: fn sees each node with its ancestors in stack
+// (immediate parent last). Analyzers that classify a node by its
+// syntactic context (atomicsafe, hotalloc) use this instead of
+// re-finding parents per node.
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
 }
 
 // appliesTo builds an Applies predicate matching any of the given

@@ -1,8 +1,10 @@
-// Command albacheck is the repository's static-analysis suite: six
+// Command albacheck is the repository's static-analysis suite: ten
 // repo-specific analyzers built on the standard library's go/ast,
 // go/parser, go/types and go/importer packages, enforcing at lint time
 // the invariants this codebase has historically broken by hand (see
-// docs/STATIC_ANALYSIS.md for each analyzer's motivating bug):
+// docs/STATIC_ANALYSIS.md for each analyzer's motivating bug).
+//
+// Six are per-package AST/type checks:
 //
 //	locksafe     slow operations (Fit/Train/Predict, net/http
 //	             round-trips, file I/O) reachable while a sync.Mutex /
@@ -13,23 +15,44 @@
 //	floatsafe    float ==/!=, divisions with unguarded denominators and
 //	             unguarded math.Log/math.Sqrt in the numeric packages
 //	errsilent    unchecked error-returning calls and _ = err discards
-//	             in internal/ outside tests
+//	             in internal/ and cmd/ outside tests
 //	metricnames  obs metric families whose names break Prometheus
 //	             conventions or are missing from docs/OBSERVABILITY.md
 //	godoc        exported identifiers without doc comments (the former
-//	             cmd/doccheck, widened to all of internal/)
+//	             cmd/doccheck, widened to every swept package)
+//
+// Four ride the multi-pass layer added with the concurrency surface: a
+// cross-package call graph (program.go) and an intra-procedural
+// CFG/dataflow pass (cfg.go):
+//
+//	goroleak     goroutines with no join path — no WaitGroup.Done,
+//	             channel operation, or context cancellation reachable
+//	             from the spawned body through the call graph
+//	atomicsafe   struct fields used through sync/atomic in one place
+//	             and plainly (or under an unrelated mutex) in another
+//	hotalloc     allocation sources (append growth, make/new, slice and
+//	             map literals, closures/go/defer in loops, interface
+//	             boxing) in functions reachable from the declared hot
+//	             roots or annotated //albacheck:hotpath
+//	detflow      taint tracking: wall-clock or map-iteration-order
+//	             nondeterminism flowing into committed artifacts or
+//	             parallel worker cells
 //
 // Usage:
 //
-//	go run ./cmd/albacheck ./internal/... ./cmd/...
+//	go run ./cmd/albacheck ./internal/... ./cmd/... ./examples/...
 //	go run ./cmd/albacheck -json ./internal/...
 //	go run ./cmd/albacheck -locksafe=false ./internal/server
+//	go run ./cmd/albacheck -expect-analyzers 10 ./internal/...
 //
-// A trailing /... walks the tree rooted at the prefix (testdata and
-// dotted directories are skipped). Each analyzer can be disabled with
-// -<name>=false. With -json the full diagnostic list, the applied
-// suppressions and a per-analyzer summary are emitted as one JSON
-// object on stdout.
+// A trailing /... walks the tree rooted at the prefix (testdata trees —
+// committed fuzz corpora included — plus dotted and underscore-prefixed
+// directories are skipped). Each analyzer can be disabled with
+// -<name>=false; -expect-analyzers N fails the run unless exactly N
+// analyzers are registered, so CI catches a silently dropped
+// registration. With -json the full diagnostic list, the applied
+// suppressions and a per-analyzer summary (with wall-clock timing per
+// analyzer) are emitted as one JSON object on stdout.
 //
 // A diagnostic is suppressed with a comment on the offending line or
 // the line above:
@@ -53,6 +76,7 @@ import (
 func main() {
 	var (
 		jsonOut = flag.Bool("json", false, "emit diagnostics, suppressions and summary as JSON")
+		expect  = flag.Int("expect-analyzers", 0, "fail unless exactly this many analyzers are registered (0 disables)")
 		enabled = map[string]*bool{}
 	)
 	for _, a := range analyzers {
@@ -65,6 +89,10 @@ func main() {
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *expect > 0 && len(analyzers) != *expect {
+		fmt.Fprintf(os.Stderr, "albacheck: %d analyzers registered, expected %d — a registration was dropped or added without updating the gate\n", len(analyzers), *expect)
 		os.Exit(2)
 	}
 

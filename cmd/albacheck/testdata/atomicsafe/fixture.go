@@ -1,0 +1,67 @@
+// Package fixture exercises the atomicsafe analyzer: struct fields
+// that opted into atomics — by type (atomic.Bool, atomic.Pointer[T])
+// or by access style (atomic.LoadInt64(&s.f)) — must be used that way
+// at every site; a plain access elsewhere is an unsynchronized read or
+// write against the atomic writers.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits    atomic.Uint64
+	enabled atomic.Bool
+	snap    atomic.Pointer[config]
+
+	mixed int64 // accessed via atomic.LoadInt64/StoreInt64 AND plainly
+
+	mu    sync.Mutex
+	plain int // mutex-guarded everywhere: no atomics involved, no finding
+}
+
+type config struct{ limit int }
+
+func methodsOnly(c *counters) uint64 {
+	c.hits.Add(1)
+	c.enabled.Store(true)
+	if cfg := c.snap.Load(); cfg != nil {
+		return uint64(cfg.limit)
+	}
+	return c.hits.Load()
+}
+
+func addressAlias(c *counters) {
+	p := &c.hits // address-of is sanctioned: the alias is used through methods
+	p.Add(1)
+}
+
+func plainWrite(c *counters) {
+	c.enabled = atomic.Bool{} // want "use its atomic methods"
+}
+
+func plainRead(c *counters) atomic.Uint64 {
+	return c.hits // want "use its atomic methods"
+}
+
+func atomically(c *counters) int64 {
+	return atomic.LoadInt64(&c.mixed)
+}
+
+func storeAtomically(c *counters, v int64) {
+	atomic.StoreInt64(&c.mixed, v)
+}
+
+func plainUnderOtherMutex(c *counters) {
+	c.mu.Lock()
+	c.mixed++ // want "accessed via sync/atomic elsewhere"
+	c.mu.Unlock()
+}
+
+func mutexOnlyIsFine(c *counters) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plain++
+	return c.plain
+}

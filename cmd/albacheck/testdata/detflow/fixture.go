@@ -1,0 +1,87 @@
+// Package fixture exercises the detflow analyzer: wall-clock and
+// map-iteration-order taint flowing through assignments into artifact
+// sinks or parallel worker closures, and the flows that are fine —
+// stderr chatter, sorted containers, overwritten values.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+func clockToArtifact(w io.Writer) {
+	start := time.Now()
+	elapsed := time.Since(start)
+	fmt.Fprintf(w, "took %s\n", elapsed) // want "wall-clock-derived value reaches"
+}
+
+func clockToStderrIsFine() {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "took %s\n", time.Since(start))
+}
+
+func clockToFile(report []byte) error {
+	stamp := time.Now().String()
+	name := "out-" + stamp + ".json"
+	return os.WriteFile(name, report, 0o644) // want "wall-clock-derived value reaches"
+}
+
+func mapOrderToArtifact(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	fmt.Fprintln(w, keys) // want "map-iteration order"
+}
+
+func sortedIsFine(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintln(w, keys)
+}
+
+func emitInsideRange(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "range-over-map"
+	}
+}
+
+func overwrittenIsFine(w io.Writer) {
+	x := time.Now().UnixNano()
+	x = 42
+	fmt.Fprintf(w, "%d\n", x)
+}
+
+// ForEach mimics the runner's bounded fan-out; detflow matches it by
+// callee name.
+func ForEach(n, workers int, fn func(int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cellCapturesClock(n int) error {
+	now := time.Now().UnixNano()
+	return ForEach(n, 4, func(i int) error {
+		use(now) // want "captured by a parallel worker closure"
+		return nil
+	})
+}
+
+func cellOwnIndexIsFine(n int) error {
+	return ForEach(n, 4, func(i int) error {
+		use(int64(i))
+		return nil
+	})
+}
+
+func use(int64) {}

@@ -28,6 +28,34 @@ func deferredDrop(f *os.File) {
 	defer f.Close() // want "error returned by os.File.Close is not checked"
 }
 
+func twoErrors() (error, error) { return nil, nil }
+
+func multiBlankDiscard() {
+	// Both blanks discard an error: one report each (the analyzer must
+	// not stop at the first blank in the statement).
+	_, _ = mayFail(), mayFail() // want "error from fixture.mayFail discarded" "error from fixture.mayFail discarded"
+	_, _ = twoErrors()          // want "discarded into _" "discarded into _"
+}
+
+func secondPositionDiscard() (int, error) {
+	// The error sits at RHS position 1; the analyzer must inspect that
+	// expression, not RHS position 0.
+	n, _ := 1, mayFail() // want "error from fixture.mayFail discarded"
+	return n, nil
+}
+
+func deferredWritableDrop() error {
+	// The artifact-writer shape: a deferred Close on a writable file
+	// can be the only place buffered bytes fail, so it must be checked.
+	f, err := os.Create("artifact.csv")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "error returned by os.File.Close is not checked"
+	_, err = f.WriteString("rows")
+	return err
+}
+
 func handled() error {
 	if err := mayFail(); err != nil {
 		return err

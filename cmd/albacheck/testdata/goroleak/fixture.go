@@ -1,0 +1,86 @@
+// Package fixture exercises the goroleak analyzer: goroutines whose
+// bodies — followed transitively through the call graph — contain no
+// join signal (WaitGroup.Done, channel operation, close, select,
+// range-over-channel, or context cancellation).
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func busywork(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+func leakyLiteral() {
+	go func() { // want "goroutine has no join path"
+		busywork(1000)
+	}()
+}
+
+func leakyNamed() {
+	go busywork(1000) // want "goroutine has no join path"
+}
+
+func joinedByWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		busywork(1000)
+	}()
+}
+
+func joinedByQuitChannel(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+				busywork(10)
+			}
+		}
+	}()
+}
+
+func joinedBySend(results chan int) {
+	go func() {
+		results <- busywork(1000)
+	}()
+}
+
+func joinedByContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func drainer(ch chan int) {
+	for v := range ch {
+		busywork(v)
+	}
+}
+
+// The join signal may live one call away: the analyzer follows the call
+// graph from the spawned body.
+func joinedTransitively(ch chan int) {
+	go drainer(ch)
+}
+
+func indirect(ch chan int) { drainer(ch) }
+
+func joinedTwoHops(ch chan int) {
+	go indirect(ch)
+}
+
+func closesOnExit(done chan struct{}) {
+	go func() {
+		defer close(done)
+		busywork(1000)
+	}()
+}

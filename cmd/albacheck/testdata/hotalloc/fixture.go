@@ -1,0 +1,98 @@
+// Package fixture exercises the hotalloc analyzer: allocation sources
+// in functions reachable from //albacheck:hotpath roots, the coldpath
+// traversal barrier, and the annotation-hygiene check. Fixture roots
+// are all annotation-declared — the built-in kernel roots live in
+// packages this synthetic package does not contain.
+package fixture
+
+//albacheck:hotpath
+func kernel(dst, src []float64) {
+	for i, v := range src {
+		dst[i] = v * 2
+	}
+	tmp := make([]float64, len(src)) // want "make allocates every call"
+	copy(tmp, dst)
+}
+
+//albacheck:hotpath
+func root(dst []float64) {
+	helper(dst)
+	startup()
+	unreasoned()
+}
+
+// helper is not annotated, but is reachable from root and scanned.
+func helper(dst []float64) {
+	grown := append(dst, 1) // want "allocates when it outgrows"
+	_ = grown
+}
+
+//albacheck:coldpath one-time table build at startup, off the steady-state path
+func startup() {
+	table := make([]int, 1024) // no finding: coldpath stops the scan
+	_ = table
+}
+
+//albacheck:coldpath
+func unreasoned() { // want "coldpath needs a written reason"
+}
+
+//albacheck:hotpath
+func collector(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "declared without capacity"
+	}
+	return out
+}
+
+//albacheck:hotpath
+func reuses(buf []int, x int) []int {
+	// Self-append to a caller-owned slice: free at steady state once the
+	// caller reserves capacity. No finding.
+	buf = append(buf[:0], x)
+	return buf
+}
+
+//albacheck:hotpath
+func loopCosts(n int, done chan struct{}) {
+	for i := 0; i < n; i++ {
+		defer drop(i)         // want "defer inside a loop"
+		go worker(i, done)    // want "goroutine spawn inside a loop"
+		f := func() int { return i } // want "closure inside a loop"
+		_ = f()
+	}
+}
+
+func drop(int) {}
+
+func worker(i int, done chan struct{}) {
+	done <- struct{}{}
+	_ = i
+}
+
+//albacheck:hotpath
+func boxes(xs []int) {
+	for _, x := range xs {
+		sink(x) // want "boxed into"
+	}
+}
+
+func sink(v interface{}) { _ = v }
+
+//albacheck:hotpath
+func literals() map[string]int {
+	return map[string]int{} // want "composite literal allocates"
+}
+
+type thing struct{ n int }
+
+//albacheck:hotpath
+func pointers() *thing {
+	return &thing{n: 1} // want "heap-allocates"
+}
+
+// coldFree is not reachable from any hot root: it may allocate freely.
+func coldFree() []int {
+	return make([]int, 4)
+}

@@ -65,7 +65,7 @@ func loadDataset(path string) *dataset.Dataset {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
+	defer f.Close() //albacheck:ignore errsilent read-only file; a close error cannot lose data and the decode error is already fatal
 	var d dataset.Dataset
 	if err := gob.NewDecoder(f).Decode(&d); err != nil {
 		fatal(fmt.Errorf("decoding %s: %w", path, err))
@@ -87,7 +87,7 @@ func train(args []string) {
 		trees     = fs.Int("trees", 20, "random-forest size")
 		extractor = fs.String("extractor", "", "extractor when generating inline (mvts/tsfresh)")
 	)
-	fs.Parse(args)
+	fs.Parse(args) //albacheck:ignore errsilent flag.ExitOnError: Parse exits the process on error, the return is dead
 	if *modelDir == "" || (*dataFile == "" && *system == "") {
 		usage()
 	}
@@ -164,7 +164,7 @@ func diagnose(args []string) {
 		dataFile = fs.String("data", "", "dataset file with samples to diagnose (required)")
 		index    = fs.Int("index", 0, "sample index to diagnose")
 	)
-	fs.Parse(args)
+	fs.Parse(args) //albacheck:ignore errsilent flag.ExitOnError: Parse exits the process on error, the return is dead
 	if *modelDir == "" || *dataFile == "" {
 		usage()
 	}

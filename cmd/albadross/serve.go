@@ -51,7 +51,7 @@ func serve(args []string) {
 		minAgree  = fs.Float64("min-agreement", 0.85, "champion-agreement floor for promotion")
 		cooldown  = fs.Duration("trigger-cooldown", 30*time.Second, "min spacing between drift triggers")
 	)
-	fs.Parse(args)
+	fs.Parse(args) //albacheck:ignore errsilent flag.ExitOnError: Parse exits the process on error, the return is dead
 	if *dataFile == "" {
 		usage()
 	}
@@ -131,7 +131,9 @@ func serve(args []string) {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			logger.Printf("forced shutdown: %v", err)
-			_ = httpSrv.Close()
+			if cerr := httpSrv.Close(); cerr != nil {
+				logger.Printf("close after forced shutdown: %v", cerr)
+			}
 		}
 	}
 }

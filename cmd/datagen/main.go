@@ -95,9 +95,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
-	defer f.Close()
 	if err := gob.NewEncoder(f).Encode(d); err != nil {
+		f.Close() //albacheck:ignore errsilent already exiting on the encode error; the close error cannot add anything
 		fmt.Fprintln(os.Stderr, "datagen: encoding:", err)
+		os.Exit(1)
+	}
+	// Close errors on a written file are real data loss (buffered bytes
+	// may only hit the disk here), so a deferred silent close won't do.
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 	counts := d.ClassCounts()
@@ -133,5 +139,7 @@ func printCatalogs() {
 	for _, n := range hpas.Names() {
 		fmt.Fprintf(w, "%s\t%s\n", n, desc[n])
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+	}
 }

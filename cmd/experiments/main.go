@@ -185,7 +185,9 @@ func main() {
 				fatal(err)
 			}
 			if err := res.WriteCSV(f); err != nil {
-				f.Close()
+				if cerr := f.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "experiments: close:", cerr)
+				}
 				fatal(err)
 			}
 			if err := f.Close(); err != nil {

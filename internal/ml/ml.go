@@ -146,7 +146,7 @@ func ParallelRows(n, workers int, fn func(lo, hi int)) {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(lo, hi int) { //albacheck:ignore hotalloc bounded worker fan-out: goroutine, closure and defer amortize across the whole row chunk
 			defer wg.Done()
 			fn(lo, hi)
 		}(lo, hi)
@@ -203,7 +203,7 @@ func ValidateTrainingInput(x [][]float64, y []int, nClasses int) error {
 // nil) and returns it. It is numerically stable under large logits.
 func Softmax(logits []float64, out []float64) []float64 {
 	if out == nil {
-		out = make([]float64, len(logits))
+		out = make([]float64, len(logits)) //albacheck:ignore hotalloc allocates only when the caller passes nil; the flat kernels pass preallocated buffers
 	}
 	max := math.Inf(-1)
 	for _, v := range logits {

@@ -63,6 +63,7 @@ type lifecycle struct {
 	trialMu sync.Mutex
 	trial   *trial
 
+	retrainWG   sync.WaitGroup // joins the in-flight drift retrain goroutine
 	retraining  atomic.Bool  // single-flight for drift-triggered retrains
 	cooldownEnd atomic.Int64 // unix nanos before which no drift trigger fires
 	cooldownMul atomic.Int64 // current backoff multiplier (1, 2, ... capped)
@@ -131,6 +132,9 @@ func (lc *lifecycle) close() {
 	close(lc.queue)
 	lc.closeMu.Unlock()
 	<-lc.done
+	// A drift-triggered retrain may still be training; join it so Close
+	// never leaves a goroutine mutating server state behind it.
+	lc.retrainWG.Wait()
 }
 
 // run is the shadow worker: every duplicated batch feeds the drift
@@ -298,7 +302,11 @@ func (lc *lifecycle) maybeTrigger() {
 	lc.armCooldown()
 	lc.s.cfg.Log.Printf("server: drift trigger: %d/%d features drifted (max PSI %.3f, max KS %.3f)",
 		st.DriftedFeatures, st.Features, st.MaxPSI, st.MaxKS)
-	go lc.retrainFromDrift()
+	lc.retrainWG.Add(1)
+	go func() {
+		defer lc.retrainWG.Done()
+		lc.retrainFromDrift()
+	}()
 }
 
 // retrainFromDrift trains a candidate on the current labeled set and

@@ -299,6 +299,7 @@ func (s *Streamer) PushAt(t int, values []float64) ([]*Diagnosis, error) {
 		duplicatesTotal.Inc()
 		return nil, nil
 	}
+	//albacheck:ignore hotalloc ownership copy of the caller's row; the reorder buffer must outlive the call
 	s.pending[t] = append([]float64{}, values...)
 	if t > s.maxT {
 		s.maxT = t
@@ -323,6 +324,7 @@ func (s *Streamer) drain(final bool) ([]*Diagnosis, error) {
 			if !final && s.maxT-s.nextT < s.cfg.Reorder {
 				break
 			}
+			//albacheck:ignore hotalloc gap rows are retained in the window ring, so each needs its own backing; bounded by the reorder horizon
 			row = make([]float64, len(s.cfg.Schema))
 			for i := range row {
 				row[i] = math.NaN()
@@ -338,7 +340,7 @@ func (s *Streamer) drain(final bool) ([]*Diagnosis, error) {
 			return out, err
 		}
 		if d != nil {
-			out = append(out, d)
+			out = append(out, d) //albacheck:ignore hotalloc diagnosis fan-out is 0 or 1 per push at steady state; the slice only grows on reorder flushes
 		}
 	}
 	return out, nil
@@ -412,6 +414,8 @@ func (s *Streamer) rollingVector() []float64 {
 // Every completed window yields a diagnosis or an explicit abstention;
 // feature vectors are sanitized so degraded windows (all-NaN or constant
 // series) stay finite.
+//
+//albacheck:coldpath per-window work, stride-amortized over pushes; the BENCH_5 gate holds the end-to-end rows/s floor
 func (s *Streamer) diagnoseWindow() (*Diagnosis, error) {
 	defer obs.StartSpan(windowLatency).End()
 	s.stats.Windows++

@@ -28,7 +28,16 @@ echo "== go build ./..."
 go build ./...
 
 echo "== albacheck (repo-specific static analysis; see docs/STATIC_ANALYSIS.md)"
-go run ./cmd/albacheck ./internal/... ./cmd/...
+# -expect-analyzers pins the registry size: a dropped (or silently
+# added) analyzer fails the gate even when the sweep itself is clean.
+# ALBACHECK_OUT (used by CI) additionally writes the full -json report
+# (findings, reasoned suppressions, per-analyzer wall-clock timing).
+if [ -n "${ALBACHECK_OUT:-}" ]; then
+  go run ./cmd/albacheck -expect-analyzers 10 -json \
+    ./internal/... ./cmd/... ./examples/... > "$ALBACHECK_OUT"
+else
+  go run ./cmd/albacheck -expect-analyzers 10 ./internal/... ./cmd/... ./examples/...
+fi
 
 echo "== go test -race ./..."
 # 20m headroom: the experiments package runs race-enabled end-to-end
