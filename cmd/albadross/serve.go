@@ -15,10 +15,31 @@ import (
 	"albadross/internal/core"
 	"albadross/internal/dataset"
 	"albadross/internal/drift"
+	"albadross/internal/features"
+	"albadross/internal/features/mvts"
+	"albadross/internal/features/rolling"
+	"albadross/internal/features/tsfresh"
 	"albadross/internal/ml/forest"
 	"albadross/internal/ml/tree"
 	"albadross/internal/server"
+	"albadross/internal/stream"
+	"albadross/internal/telemetry"
 )
+
+// serveExtractor resolves an ingest extractor name, mirroring the
+// experiments runner's switch.
+func serveExtractor(name string) (features.Extractor, error) {
+	switch name {
+	case "mvts":
+		return mvts.Extractor{}, nil
+	case "tsfresh":
+		return tsfresh.Extractor{}, nil
+	case "rolling":
+		return rolling.Extractor{}, nil
+	default:
+		return nil, fmt.Errorf("unknown extractor %q (mvts, tsfresh, or rolling)", name)
+	}
+}
 
 // serve starts the annotation console (the paper's future-work
 // dashboard): it loads a dataset, builds the Fig. 2 split, trains the
@@ -50,6 +71,17 @@ func serve(args []string) {
 		shadowRow = fs.Int("shadow-rows", 256, "duplicated rows before the promotion decision")
 		minAgree  = fs.Float64("min-agreement", 0.85, "champion-agreement floor for promotion")
 		cooldown  = fs.Duration("trigger-cooldown", 30*time.Second, "min spacing between drift triggers")
+
+		ingShards  = fs.Int("ingest-shards", 0, "node streams accepted on POST /api/ingest (0 disables ingest; see docs/REPLAY.md)")
+		ingMetrics = fs.Int("ingest-metrics", 0, "raw metrics per ingest reading (builds the telemetry schema; required with -ingest-shards)")
+		ingExtract = fs.String("ingest-extractor", "mvts", "ingest feature extractor: mvts, tsfresh, or rolling")
+		ingWindow  = fs.Int("ingest-window", 64, "ingest diagnosis window length (samples)")
+		ingStride  = fs.Int("ingest-stride", 0, "ingest window hop (0 = window length)")
+		ingReorder = fs.Int("ingest-reorder", 8, "ingest reordering-buffer horizon (samples)")
+		ingRolling = fs.Bool("ingest-rolling", false, "incremental rolling features on the ingest path (requires -ingest-extractor rolling)")
+		walDir     = fs.String("wal-dir", "", "write-ahead window log directory (empty disables journaling and crash recovery)")
+		walSegment = fs.Int64("wal-segment", 1<<20, "WAL segment rotation size in bytes")
+		walRetain  = fs.Int("wal-retain", 0, "WAL segments retained per shard (0 keeps all)")
 	)
 	fs.Parse(args) //albacheck:ignore errsilent flag.ExitOnError: Parse exits the process on error, the return is dead
 	if *dataFile == "" {
@@ -76,6 +108,36 @@ func serve(args []string) {
 		fatal(err)
 	}
 	logger := log.New(os.Stderr, "albadross: ", log.LstdFlags)
+	var (
+		schema []telemetry.Metric
+		ext    features.Extractor
+		ingest server.IngestConfig
+	)
+	if *ingShards > 0 {
+		if *ingMetrics <= 0 {
+			fatal(fmt.Errorf("-ingest-shards requires -ingest-metrics"))
+		}
+		schema = telemetry.BuildSchema(*ingMetrics)
+		if ext, err = serveExtractor(*ingExtract); err != nil {
+			fatal(err)
+		}
+		gap := stream.GapAbstain
+		if *ingRolling {
+			// The incremental path needs a causal repair policy.
+			gap = stream.GapHoldLast
+		}
+		ingest = server.IngestConfig{
+			Shards:          *ingShards,
+			Window:          *ingWindow,
+			Stride:          *ingStride,
+			Reorder:         *ingReorder,
+			Gap:             gap,
+			Rolling:         *ingRolling,
+			WALDir:          *walDir,
+			WALSegmentBytes: *walSegment,
+			WALRetain:       *walRetain,
+		}
+	}
 	srv, err := server.New(server.Config{
 		Data:  tr,
 		Split: split,
@@ -101,6 +163,9 @@ func serve(args []string) {
 		ShadowMinRows:   *shadowRow,
 		MinAgreement:    *minAgree,
 		TriggerCooldown: *cooldown,
+		Schema:          schema,
+		Extractor:       ext,
+		Ingest:          ingest,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,50 @@
+package pipeline
+
+// Graph is the pluggable fan-out layer: one chain per shard, executed
+// under the internal/runner determinism contract. Shards are fully
+// independent (each chain owns its windowing and feature state), every
+// shard's arrivals are consumed serially by exactly one worker, and
+// per-shard outputs land in per-shard sinks — so folding results in
+// shard order yields byte-identical output for ANY worker count, the
+// same argument that makes the experiment grid reproducible.
+
+import (
+	"fmt"
+
+	"albadross/internal/runner"
+)
+
+// Graph runs one Chain per shard.
+type Graph struct {
+	chains []*Chain
+}
+
+// NewGraph assembles a graph over per-shard chains (shard i is served
+// by chains[i]).
+func NewGraph(chains ...*Chain) *Graph { return &Graph{chains: chains} }
+
+// Chain returns the chain serving one shard.
+func (g *Graph) Chain(shard int) *Chain { return g.chains[shard] }
+
+// Shards reports the number of shards.
+func (g *Graph) Shards() int { return len(g.chains) }
+
+// Run feeds every shard of src through its chain and flushes each chain
+// at end-of-stream, fanning shards across at most workers goroutines
+// (workers <= 1 means serial). On error the lowest-numbered failing
+// shard wins, deterministically, regardless of worker count.
+func (g *Graph) Run(src Source, workers int) error {
+	if src.Shards() != len(g.chains) {
+		return fmt.Errorf("pipeline: source has %d shards, graph %d", src.Shards(), len(g.chains))
+	}
+	return runner.ForEach(len(g.chains), workers, func(i int) error {
+		c := g.chains[i]
+		if err := src.Feed(i, c.PushAt); err != nil {
+			return fmt.Errorf("pipeline: shard %d: %w", i, err)
+		}
+		if err := c.Flush(); err != nil {
+			return fmt.Errorf("pipeline: shard %d flush: %w", i, err)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,17 @@
+package pipeline
+
+import (
+	"albadross/internal/features"
+	"albadross/internal/features/mvts"
+	"albadross/internal/features/rolling"
+)
+
+// testExtractor picks the extractor for a test mode: the incremental
+// rolling extractor when the rolling path is under test, the richer
+// mvts extractor for the batch path.
+func testExtractor(rollingMode bool) features.Extractor {
+	if rollingMode {
+		return rolling.Extractor{}
+	}
+	return mvts.Extractor{}
+}

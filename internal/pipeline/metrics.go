@@ -1,0 +1,24 @@
+package pipeline
+
+import "albadross/internal/obs"
+
+// Stage-graph metrics, registered on the default obs registry at import
+// time and documented in docs/OBSERVABILITY.md. They aggregate across
+// every Chain in the process; per-shard numbers come from Chain.Stats.
+var (
+	eventsTotal = obs.NewCounter(obs.Opts{
+		Name: "pipeline_events_total",
+		Help: "Arrivals pushed through stage chains (live and replayed).",
+		Unit: "readings",
+	})
+	abstainedTotal = obs.NewCounter(obs.Opts{
+		Name: "pipeline_abstained_total",
+		Help: "Windows a stage chain refused to classify.",
+		Unit: "windows",
+	})
+	replaysTotal = obs.NewCounter(obs.Opts{
+		Name: "pipeline_replays_total",
+		Help: "Write-ahead-log replays driven through stage chains.",
+		Unit: "replays",
+	})
+)

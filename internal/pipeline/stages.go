@@ -1,0 +1,133 @@
+package pipeline
+
+// Concrete stage implementations. Each wraps the single shared
+// implementation in internal/stream — never a reimplementation — so
+// chains and fused Streamers cannot drift apart numerically.
+
+import (
+	"errors"
+	"fmt"
+
+	"albadross/internal/features"
+	"albadross/internal/stream"
+	"albadross/internal/telemetry"
+)
+
+// BatchFeatures is the from-scratch window path: each completed window
+// is repaired under the gap policy, counter-differenced and extracted
+// whole via stream.BatchVector. It holds no state between windows.
+type BatchFeatures struct {
+	// Schema describes the incoming metric vector (order matters).
+	Schema []telemetry.Metric
+	// Gap selects the repair applied inside each window.
+	Gap stream.GapPolicy
+	// Extractor computes per-metric features on each window.
+	Extractor features.Extractor
+}
+
+// Vector repairs and extracts one window from scratch.
+func (b BatchFeatures) Vector(rows [][]float64) ([]float64, error) {
+	return stream.BatchVector(rows, b.Schema, b.Gap, b.Extractor)
+}
+
+// Reset is a no-op: the batch path is stateless between windows.
+func (b BatchFeatures) Reset() {}
+
+// RollingFeatures is the incremental path: per-metric rolling state
+// advances once per committed row (it implements CommitObserver) and
+// windows are rendered from that state at each stride boundary,
+// matching stream.Config.Rolling semantics exactly.
+type RollingFeatures struct {
+	state *stream.IncrementalState
+}
+
+// NewRollingFeatures builds rolling state for the schema over windows
+// of the given length; the extractor must implement
+// features.Incremental and the gap policy must be causal.
+func NewRollingFeatures(ex features.Extractor, schema []telemetry.Metric, window int, gap stream.GapPolicy) (*RollingFeatures, error) {
+	inc, ok := ex.(features.Incremental)
+	if !ok {
+		return nil, fmt.Errorf("pipeline: extractor %q does not implement features.Incremental", ex.Name())
+	}
+	if gap == stream.GapInterpolate {
+		return nil, errors.New("pipeline: rolling features require a causal gap policy (GapHoldLast or GapAbstain)")
+	}
+	return &RollingFeatures{state: stream.NewIncrementalState(inc, schema, window)}, nil
+}
+
+// Observe advances the rolling state by one committed row.
+func (r *RollingFeatures) Observe(row []float64) { r.state.Observe(row) }
+
+// Vector renders the current rolling feature vector; the window rows
+// are ignored because the state already absorbed every commit.
+func (r *RollingFeatures) Vector([][]float64) ([]float64, error) {
+	return r.state.Vector(), nil
+}
+
+// Reset empties the rolling state.
+func (r *RollingFeatures) Reset() { r.state.Reset() }
+
+// PredictFunc adapts a bare stream.DiagnoseFunc into a PredictStage.
+type PredictFunc stream.DiagnoseFunc
+
+// Predict classifies one sanitized feature vector.
+func (f PredictFunc) Predict(vec []float64) (string, float64, error) { return f(vec) }
+
+// Collector is a Sink that accumulates every diagnosis in emission
+// order.
+type Collector struct {
+	// Diagnoses holds everything emitted so far.
+	Diagnoses []stream.Diagnosis
+}
+
+// Emit appends one diagnosis.
+func (c *Collector) Emit(d stream.Diagnosis) error {
+	c.Diagnoses = append(c.Diagnoses, d)
+	return nil
+}
+
+// Event is one timestamped arrival of a SliceSource shard.
+type Event struct {
+	// T is the claimed timestep.
+	T int
+	// Values is the raw reading (NaN marks missing metrics).
+	Values []float64
+}
+
+// SliceSource is an in-memory Source: one arrival sequence per shard.
+type SliceSource [][]Event
+
+// Shards reports the number of shard sequences.
+func (s SliceSource) Shards() int { return len(s) }
+
+// Feed pushes one shard's arrivals in order.
+func (s SliceSource) Feed(shard int, push func(t int, values []float64) error) error {
+	for _, e := range s[shard] {
+		if err := push(e.T, e.Values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StagesFor derives the feature and predict stages a stream.Config
+// describes: the rolling incremental path when cfg.Rolling is set, the
+// batch path otherwise, with cfg.Diagnose as the predictor. A Chain
+// built from these stages and a Streamer built from cfg are
+// numerically interchangeable.
+func StagesFor(cfg stream.Config) (FeatureStage, PredictStage, error) {
+	if cfg.Extractor == nil || cfg.Diagnose == nil {
+		return nil, nil, errors.New("pipeline: Extractor and Diagnose are required")
+	}
+	var feat FeatureStage
+	if cfg.Rolling {
+		rf, err := NewRollingFeatures(cfg.Extractor, cfg.Schema, cfg.Window, cfg.Gap)
+		if err != nil {
+			return nil, nil, err
+		}
+		feat = rf
+	} else {
+		feat = BatchFeatures{Schema: cfg.Schema, Gap: cfg.Gap, Extractor: cfg.Extractor}
+	}
+	return feat, PredictFunc(cfg.Diagnose), nil
+}

@@ -64,9 +64,9 @@ type lifecycle struct {
 	trial   *trial
 
 	retrainWG   sync.WaitGroup // joins the in-flight drift retrain goroutine
-	retraining  atomic.Bool  // single-flight for drift-triggered retrains
-	cooldownEnd atomic.Int64 // unix nanos before which no drift trigger fires
-	cooldownMul atomic.Int64 // current backoff multiplier (1, 2, ... capped)
+	retraining  atomic.Bool    // single-flight for drift-triggered retrains
+	cooldownEnd atomic.Int64   // unix nanos before which no drift trigger fires
+	cooldownMul atomic.Int64   // current backoff multiplier (1, 2, ... capped)
 
 	quarantines atomic.Uint64
 	promotions  atomic.Uint64

@@ -11,6 +11,9 @@
 //	                      annotation, retrains, and re-scores
 //	GET  /api/status   -> trajectory so far (F1/FAR/AMR per query)
 //	GET  /api/diagnose -> POST a feature vector, get a diagnosis
+//	POST /api/ingest   -> stream timestamped raw readings through the
+//	                      per-shard stage chains (Config.Ingest), with
+//	                      write-ahead journaling and crash recovery
 //	GET  /api/health   -> liveness/readiness probe
 //	GET  /api/metrics  -> obs registry snapshot (JSON, or the Prometheus
 //	                      text exposition with ?format=prometheus)
@@ -147,6 +150,13 @@ type Config struct {
 	// ShadowMinRows of traffic before being quarantined for
 	// insufficient evidence (default 60s).
 	ShadowMaxWait time.Duration
+
+	// Ingest enables the streaming ingest subsystem (POST /api/ingest):
+	// per-shard stage chains with an optional write-ahead window log and
+	// crash recovery (see ingest.go and docs/REPLAY.md). Active when
+	// Ingest.Shards > 0; requires Schema and Extractor (plus Prep when
+	// the model was trained on transformed vectors).
+	Ingest IngestConfig
 }
 
 // snapshot is the immutable serving state behind the RCU pointer: one
@@ -168,6 +178,7 @@ type Server struct {
 	reg       *registry.Registry[*snapshot]
 	batch     *batcher
 	lc        *lifecycle   // nil unless Config.Lifecycle
+	ing       *ingestState // nil unless Config.Ingest.Shards > 0
 	lastTrain atomic.Int64 // unix seconds of the last successful publication
 
 	// refX is the drift monitor's reference: the training universe
@@ -292,19 +303,34 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.lc = lc
 	}
+	if cfg.Ingest.Shards > 0 {
+		// Ingest comes last: WAL recovery replays journaled readings
+		// through the serving path, so the initial model (and, when on,
+		// the lifecycle) must already exist.
+		ing, err := newIngest(s)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.ing = ing
+	}
 	return s, nil
 }
 
-// Close stops the batching and shadow-scoring layers. In-flight
-// coalesced requests are drained and answered; later /api/diagnose
-// calls fall back to the direct per-request path, so Close never fails
-// a client. Safe to call more than once.
+// Close stops the batching and shadow-scoring layers and closes any
+// per-shard write-ahead logs. In-flight coalesced requests are drained
+// and answered; later /api/diagnose calls fall back to the direct
+// per-request path, so Close never fails a client. Safe to call more
+// than once.
 func (s *Server) Close() {
 	if s.batch != nil {
 		s.batch.close()
 	}
 	if s.lc != nil {
 		s.lc.close()
+	}
+	if s.ing != nil {
+		s.ing.closeLogs()
 	}
 }
 
@@ -535,6 +561,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/label", s.instrument("/api/label", s.handleLabel))
 	mux.HandleFunc("/api/status", s.instrument("/api/status", s.handleStatus))
 	mux.HandleFunc("/api/diagnose", s.instrument("/api/diagnose", s.handleDiagnose))
+	mux.HandleFunc("/api/ingest", s.instrument("/api/ingest", s.handleIngest))
 	mux.HandleFunc("/api/schema", s.instrument("/api/schema", s.handleSchema))
 	mux.HandleFunc("/api/health", s.instrument("/api/health", s.handleHealth))
 	mux.HandleFunc("/api/model", s.instrument("/api/model", s.handleModel))
@@ -852,6 +879,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		if ready && st.Drifted {
 			body["status"] = "drifted" // still serving, but the champion is stale
 		}
+	}
+	if s.ing != nil {
+		body["ingest"] = s.ing.health()
 	}
 	writeJSON(w, code, body)
 }

@@ -34,6 +34,14 @@ import (
 	"albadross/internal/ts"
 )
 
+// The Streamer is a facade over two exported seams shared with the
+// composable stage graph (internal/pipeline): a Windower (delivery,
+// reordering, gap synthesis, ring, stride boundaries — see window.go)
+// and the extraction layer (BatchVector / IncrementalState — see
+// extract.go). Keeping exactly one implementation of each is what makes
+// write-ahead-log replay through the stage graph bitwise-identical to a
+// live Streamer run.
+
 // AbstainLabel is the label of a window the streamer declined to
 // diagnose because too much telemetry was missing (GapAbstain policy) or
 // the classifier returned a non-finite confidence.
@@ -175,33 +183,20 @@ type Stats struct {
 
 // Streamer consumes one node's telemetry readings.
 type Streamer struct {
-	cfg   Config
-	buf   [][]float64 // ring of the last Window readings, in arrival order
-	count int         // total samples committed
-	since int         // samples since the last diagnosis
+	cfg Config
+	// win owns delivery, the reordering buffer, the window ring and
+	// stride boundaries.
+	win *Windower
+	// inc is the rolling-extraction state (cfg.Rolling), nil on the
+	// batch path.
+	inc *IncrementalState
 
-	// Timestamped-path state (PushAt).
-	anchored bool
-	nextT    int // next claimed timestep to commit
-	pending  map[int][]float64
-	maxT     int // highest claimed timestep buffered or committed
+	// emitted collects the diagnoses produced by the current
+	// Push/PushAt/Flush call via the window callback; ownership passes
+	// to the caller on return.
+	emitted []*Diagnosis
 
-	// Rolling-extraction state (cfg.Rolling). Each metric owns one
-	// rolling window of the causally-prepared series; window length is
-	// Window-1 because counter differencing consumes one sample.
-	roll []features.Rolling
-	// cum caches telemetry.CumulativeFlags(Schema).
-	cum []bool
-	// lastRep is the last delivered (non-NaN) value per metric, the
-	// causal hold-last repair source; starts at 0, matching
-	// ts.HoldLast's all-missing fallback.
-	lastRep []float64
-	// prevRep is the previous repaired reading per metric, the
-	// differencing base; valid once havePrev is set.
-	prevRep  []float64
-	havePrev bool
-
-	stats Stats
+	abstained int // windows refused (merged into Stats)
 }
 
 // New validates the configuration and returns a Streamer.
@@ -212,28 +207,13 @@ func New(cfg Config) (*Streamer, error) {
 	if cfg.Extractor == nil || cfg.Diagnose == nil {
 		return nil, errors.New("stream: Extractor and Diagnose are required")
 	}
-	if cfg.Window < 8 {
-		return nil, fmt.Errorf("stream: window %d too short (need >= 8)", cfg.Window)
-	}
-	if cfg.Stride <= 0 {
-		cfg.Stride = cfg.Window
-	}
-	if cfg.Reorder < 0 {
-		return nil, fmt.Errorf("stream: negative reorder horizon %d", cfg.Reorder)
-	}
-	if cfg.MaxJump == 0 {
-		cfg.MaxJump = 4*cfg.Window + cfg.Reorder
-	}
-	if cfg.MaxJump < cfg.Reorder {
-		return nil, fmt.Errorf("stream: MaxJump %d below reorder horizon %d", cfg.MaxJump, cfg.Reorder)
-	}
 	if cfg.MaxMissing < 0 || cfg.MaxMissing > 1 {
 		return nil, fmt.Errorf("stream: MaxMissing %v outside [0,1]", cfg.MaxMissing)
 	}
 	if cfg.MaxMissing == 0 {
 		cfg.MaxMissing = 0.5
 	}
-	s := &Streamer{cfg: cfg, pending: map[int][]float64{}}
+	s := &Streamer{cfg: cfg}
 	if cfg.Rolling {
 		inc, ok := cfg.Extractor.(features.Incremental)
 		if !ok {
@@ -242,15 +222,33 @@ func New(cfg Config) (*Streamer, error) {
 		if cfg.Gap == GapInterpolate {
 			return nil, errors.New("stream: Rolling requires a causal gap policy (GapHoldLast or GapAbstain); GapInterpolate reads future samples")
 		}
-		nM := len(cfg.Schema)
-		s.roll = make([]features.Rolling, nM)
-		for m := range s.roll {
-			s.roll[m] = inc.NewRolling(cfg.Window - 1)
-		}
-		s.cum = telemetry.CumulativeFlags(cfg.Schema)
-		s.lastRep = make([]float64, nM)
-		s.prevRep = make([]float64, nM)
+		s.inc = NewIncrementalState(inc, cfg.Schema, cfg.Window)
 	}
+	var onCommit func(row []float64)
+	if s.inc != nil {
+		onCommit = s.inc.Observe
+	}
+	win, err := NewWindower(WindowerConfig{
+		Metrics: len(cfg.Schema),
+		Window:  cfg.Window,
+		Stride:  cfg.Stride,
+		Reorder: cfg.Reorder,
+		MaxJump: cfg.MaxJump,
+	}, onCommit, func(rows [][]float64, end int) error {
+		d, err := s.diagnoseWindow(rows, end)
+		if err != nil {
+			return err
+		}
+		s.emitted = append(s.emitted, d) //albacheck:ignore hotalloc diagnosis fan-out is 0 or 1 per push at steady state; the slice only grows on reorder flushes
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.win = win
+	// Reflect the resolved defaults back into the visible config.
+	s.cfg.Stride = win.Config().Stride
+	s.cfg.MaxJump = win.Config().MaxJump
 	return s, nil
 }
 
@@ -259,12 +257,14 @@ func New(cfg Config) (*Streamer, error) {
 // diagnosis; otherwise it returns nil. Push bypasses the reordering
 // buffer — use PushAt for feeds with claimed timestamps.
 func (s *Streamer) Push(values []float64) (*Diagnosis, error) {
-	if len(values) != len(s.cfg.Schema) {
-		return nil, fmt.Errorf("stream: reading has %d metrics, schema %d", len(values), len(s.cfg.Schema))
+	s.emitted = nil
+	if err := s.win.Push(values); err != nil {
+		return nil, err
 	}
-	s.stats.Pushed++
-	pushedTotal.Inc()
-	return s.commit(append([]float64{}, values...))
+	if len(s.emitted) == 0 {
+		return nil, nil
+	}
+	return s.emitted[0], nil
 }
 
 // PushAt delivers one timestamped reading through the bounded reordering
@@ -276,187 +276,45 @@ func (s *Streamer) Push(values []float64) (*Diagnosis, error) {
 // produced. The first accepted reading anchors the timestamp origin, so
 // a constant clock skew shifts nothing.
 func (s *Streamer) PushAt(t int, values []float64) ([]*Diagnosis, error) {
-	if len(values) != len(s.cfg.Schema) {
-		return nil, fmt.Errorf("stream: reading has %d metrics, schema %d", len(values), len(s.cfg.Schema))
-	}
-	if !s.anchored {
-		s.anchored = true
-		s.nextT = t
-		s.maxT = t - 1
-	}
-	if t < s.nextT {
-		s.stats.Late++
-		lateTotal.Inc()
-		return nil, nil
-	}
-	if t > s.nextT+s.cfg.MaxJump {
-		s.stats.Implausible++
-		implausibleTotal.Inc()
-		return nil, nil
-	}
-	if _, dup := s.pending[t]; dup {
-		s.stats.Duplicates++
-		duplicatesTotal.Inc()
-		return nil, nil
-	}
-	//albacheck:ignore hotalloc ownership copy of the caller's row; the reorder buffer must outlive the call
-	s.pending[t] = append([]float64{}, values...)
-	if t > s.maxT {
-		s.maxT = t
-	}
-	s.stats.Pushed++
-	pushedTotal.Inc()
-	out, err := s.drain(false)
-	reorderDepth.Set(float64(len(s.pending)))
-	return out, err
-}
-
-// drain commits every pending reading that is either next in sequence
-// or whose gap has outlived the reorder horizon (final drains every
-// remaining slot).
-func (s *Streamer) drain(final bool) ([]*Diagnosis, error) {
-	var out []*Diagnosis
-	for len(s.pending) > 0 {
-		row, ok := s.pending[s.nextT]
-		if !ok {
-			// The slot is missing; give it up only once no in-horizon
-			// arrival could still fill it.
-			if !final && s.maxT-s.nextT < s.cfg.Reorder {
-				break
-			}
-			//albacheck:ignore hotalloc gap rows are retained in the window ring, so each needs its own backing; bounded by the reorder horizon
-			row = make([]float64, len(s.cfg.Schema))
-			for i := range row {
-				row[i] = math.NaN()
-			}
-			s.stats.GapsFilled++
-			gapsFilledTotal.Inc()
-		} else {
-			delete(s.pending, s.nextT)
-		}
-		s.nextT++
-		d, err := s.commit(row)
-		if err != nil {
-			return out, err
-		}
-		if d != nil {
-			out = append(out, d) //albacheck:ignore hotalloc diagnosis fan-out is 0 or 1 per push at steady state; the slice only grows on reorder flushes
-		}
-	}
-	return out, nil
+	s.emitted = nil
+	err := s.win.PushAt(t, values)
+	return s.emitted, err
 }
 
 // Flush drains the reordering buffer at end-of-stream, filling any
 // remaining gaps, and returns the diagnoses released by the tail.
 func (s *Streamer) Flush() ([]*Diagnosis, error) {
-	return s.drain(true)
+	s.emitted = nil
+	err := s.win.Flush()
+	return s.emitted, err
 }
 
-// commit appends one in-sequence reading to the window ring and
-// diagnoses when a boundary is crossed.
-func (s *Streamer) commit(row []float64) (*Diagnosis, error) {
-	s.buf = append(s.buf, row)
-	if len(s.buf) > s.cfg.Window {
-		s.buf = s.buf[1:]
-	}
-	if s.roll != nil {
-		s.pushRolling(row)
-	}
-	s.count++
-	s.since++
-	if len(s.buf) < s.cfg.Window || s.since < s.cfg.Stride {
-		return nil, nil
-	}
-	s.since = 0
-	return s.diagnoseWindow()
-}
-
-// pushRolling advances the incremental extraction state by one
-// committed reading: causal hold-last repair, per-step counter
-// differencing, then one Push per metric roller. The first reading only
-// seeds the differencing base (the batch path's DiffCounters likewise
-// consumes one sample), so each roller holds Window-1 prepared values
-// exactly when the raw ring holds Window readings.
-func (s *Streamer) pushRolling(row []float64) {
-	for m, v := range row {
-		if math.IsNaN(v) {
-			v = s.lastRep[m]
-		} else {
-			s.lastRep[m] = v
-		}
-		if s.havePrev {
-			d := v
-			if s.cum[m] {
-				d = v - s.prevRep[m]
-				if d < 0 {
-					d = 0 // counter wrap/reset, as in ts.Diff
-				}
-			}
-			s.roll[m].Push(d)
-		}
-		s.prevRep[m] = v
-	}
-	s.havePrev = true
-}
-
-// rollingVector renders the current feature vector from the per-metric
-// rollers, concatenated in metric order like features.ExtractSample.
-func (s *Streamer) rollingVector() []float64 {
-	per := len(s.cfg.Extractor.FeatureNames())
-	vec := make([]float64, len(s.roll)*per)
-	for m := range s.roll {
-		s.roll[m].Features(vec[m*per : (m+1)*per])
-	}
-	return vec
-}
-
-// diagnoseWindow repairs, prepares and classifies the current buffer.
+// diagnoseWindow repairs, prepares and classifies one completed window.
 // Every completed window yields a diagnosis or an explicit abstention;
 // feature vectors are sanitized so degraded windows (all-NaN or constant
 // series) stay finite.
 //
 //albacheck:coldpath per-window work, stride-amortized over pushes; the BENCH_5 gate holds the end-to-end rows/s floor
-func (s *Streamer) diagnoseWindow() (*Diagnosis, error) {
+func (s *Streamer) diagnoseWindow(rows [][]float64, end int) (*Diagnosis, error) {
 	defer obs.StartSpan(windowLatency).End()
-	s.stats.Windows++
-	windowsTotal.Inc()
-	nM := len(s.cfg.Schema)
-	nanCells := 0
-	for _, row := range s.buf {
-		for _, v := range row {
-			if math.IsNaN(v) {
-				nanCells++
-			}
-		}
-	}
-	missing := float64(nanCells) / float64(nM*len(s.buf))
+	missing := MissingFraction(rows)
 	if s.cfg.Gap == GapAbstain && missing > s.cfg.MaxMissing {
-		s.stats.Abstained++
+		s.abstained++
 		abstainedTotal.Inc()
 		return &Diagnosis{
 			Label: AbstainLabel, Abstained: true,
-			MissingFrac: missing, WindowEnd: s.count - 1,
+			MissingFrac: missing, WindowEnd: end,
 		}, nil
 	}
 	var vec []float64
-	if s.roll != nil {
-		vec = s.rollingVector()
+	if s.inc != nil {
+		vec = s.inc.Vector()
 	} else {
-		block := ts.NewMultivariate(nM, len(s.buf))
-		for t, row := range s.buf {
-			for m := 0; m < nM; m++ {
-				block.Metrics[m][t] = row[m]
-			}
-		}
-		if s.cfg.Gap == GapHoldLast {
-			ts.HoldLastAll(block)
-		} else {
-			ts.InterpolateAll(block)
-		}
-		if err := ts.DiffCounters(block, telemetry.CumulativeFlags(s.cfg.Schema)); err != nil {
+		var err error
+		vec, err = BatchVector(rows, s.cfg.Schema, s.cfg.Gap, s.cfg.Extractor)
+		if err != nil {
 			return nil, err
 		}
-		vec = features.ExtractSample(s.cfg.Extractor, block)
 	}
 	features.Sanitize(vec)
 	label, conf, err := s.cfg.Diagnose(vec)
@@ -464,45 +322,39 @@ func (s *Streamer) diagnoseWindow() (*Diagnosis, error) {
 		return nil, err
 	}
 	if math.IsNaN(conf) || math.IsInf(conf, 0) {
-		s.stats.Abstained++
+		s.abstained++
 		abstainedTotal.Inc()
 		return &Diagnosis{
 			Label: AbstainLabel, Abstained: true,
-			MissingFrac: missing, WindowEnd: s.count - 1,
+			MissingFrac: missing, WindowEnd: end,
 		}, nil
 	}
 	return &Diagnosis{
 		Label: label, Confidence: conf,
-		WindowEnd: s.count - 1, MissingFrac: missing,
+		WindowEnd: end, MissingFrac: missing,
 	}, nil
 }
 
 // Samples reports how many readings have been committed to the window
 // sequence.
-func (s *Streamer) Samples() int { return s.count }
+func (s *Streamer) Samples() int { return s.win.Committed() }
 
 // Stats returns the delivery/diagnosis accounting so far.
-func (s *Streamer) Stats() Stats { return s.stats }
+func (s *Streamer) Stats() Stats {
+	st := s.win.Stats()
+	st.Abstained = s.abstained
+	return st
+}
 
 // Reset clears all buffers and accounting (e.g. between application
 // runs on the node).
 func (s *Streamer) Reset() {
-	s.buf = s.buf[:0]
-	s.count = 0
-	s.since = 0
-	s.anchored = false
-	s.nextT = 0
-	s.maxT = 0
-	s.pending = map[int][]float64{}
-	for m := range s.roll {
-		s.roll[m].Reset()
+	s.win.Reset()
+	if s.inc != nil {
+		s.inc.Reset()
 	}
-	for m := range s.lastRep {
-		s.lastRep[m] = 0
-		s.prevRep[m] = 0
-	}
-	s.havePrev = false
-	s.stats = Stats{}
+	s.emitted = nil
+	s.abstained = 0
 }
 
 // Replay feeds a completed node sample through the streamer sample by

@@ -1,0 +1,94 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// fuzzSeeds builds the crafted adversarial inputs the committed corpus
+// pins: a valid frame, a torn prefix, a bad checksum, a zero-length
+// prefix, and a giant length prefix. The same seeds feed f.Add and the
+// testdata corpus regenerator so the two can never drift.
+func fuzzSeeds() map[string][]byte {
+	valid := AppendRecord(nil, Record{T: -7, Values: []float64{1.25, math.NaN(), 0}})
+	torn := append([]byte{}, valid[:len(valid)-5]...)
+	badsum := append([]byte{}, valid...)
+	badsum[5] ^= 0x40 // flip a checksum bit
+	zero := make([]byte, frameHeaderSize)
+	giant := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint32(giant[0:4], MaxRecordBytes+1)
+	return map[string][]byte{
+		"valid":        valid,
+		"torn":         torn,
+		"bad-checksum": badsum,
+		"zero-length":  zero,
+		"giant-length": giant,
+	}
+}
+
+// FuzzWALDecode holds DecodeRecord to its contract on adversarial
+// bytes: it never panics, never reads past the input, classifies every
+// failure as torn or corrupt, and every successful decode re-encodes to
+// a frame that decodes to the same record bitwise.
+func FuzzWALDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, n, err := DecodeRecord(data)
+		if err != nil {
+			if !errors.Is(err, ErrTorn) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		if n <= frameHeaderSize || n > len(data) {
+			t.Fatalf("decode consumed %d bytes of %d", n, len(data))
+		}
+		re := AppendRecord(nil, r)
+		r2, n2, err2 := DecodeRecord(re)
+		if err2 != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err2)
+		}
+		if n2 != len(re) || r2.T != r.T || !sameBits(r2.Values, r.Values) {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", r, r2)
+		}
+	})
+}
+
+// TestGenerateFuzzCorpus rewrites the committed seed corpus under
+// testdata/fuzz/FuzzWALDecode when UPDATE_FUZZ_CORPUS=1 is set;
+// otherwise it verifies the corpus is present and in sync with
+// fuzzSeeds.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzWALDecode")
+	update := os.Getenv("UPDATE_FUZZ_CORPUS") == "1"
+	if update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, seed := range fuzzSeeds() {
+		path := filepath.Join(dir, name)
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
+		if update {
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("corpus seed %s missing (regenerate with UPDATE_FUZZ_CORPUS=1): %v", name, err)
+		}
+		if string(got) != want {
+			t.Fatalf("corpus seed %s stale (regenerate with UPDATE_FUZZ_CORPUS=1)", name)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Record is one journaled ingest row: a claimed timestep and the raw
+// reading delivered for it. Values are stored as IEEE-754 bit patterns,
+// so NaN payloads (missing metrics) and negative zeros round-trip
+// bitwise — the property WAL replay needs to reconstruct stream state
+// exactly.
+type Record struct {
+	// T is the claimed timestep of the reading.
+	T int64
+	// Values is the raw metric row (NaN marks missing metrics).
+	Values []float64
+}
+
+// Frame layout, little-endian:
+//
+//	uint32  payload length (bytes; > 0, <= MaxRecordBytes)
+//	uint32  CRC-32C (Castagnoli) of the payload
+//	payload
+//
+// Payload layout:
+//
+//	byte    format version (recordVersion)
+//	varint  T (zigzag)
+//	uvarint len(Values)
+//	8 bytes float64 bits per value, little-endian
+const (
+	frameHeaderSize = 8
+	recordVersion   = 1
+)
+
+// MaxRecordBytes bounds a decodable payload: a length prefix past it is
+// rejected as corrupt instead of trusted, so a bit-flipped length can
+// never make recovery attempt a multi-gigabyte read. At 8 bytes per
+// value this still leaves room for rows of ~128k metrics — two orders
+// of magnitude above Eclipse's 806.
+const MaxRecordBytes = 1 << 20
+
+// castagnoli is the CRC-32C table shared by encode and decode.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTorn reports a frame cut short by a crash mid-write: the bytes
+// present are a prefix of a record, not a corrupt one. Recovery treats
+// everything from a torn frame onward as the quarantinable tail.
+var ErrTorn = errors.New("wal: torn record (incomplete frame)")
+
+// ErrCorrupt reports a frame that is structurally invalid — zero or
+// oversized length prefix, checksum mismatch, or an undecodable
+// payload. A torn write that garbled already-written bytes also lands
+// here; recovery handles both identically.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// AppendRecord appends the framed encoding of r to dst and returns the
+// extended slice.
+func AppendRecord(dst []byte, r Record) []byte {
+	payload := 1 + binary.MaxVarintLen64 + binary.MaxVarintLen64 + 8*len(r.Values)
+	start := len(dst)
+	dst = append(dst, make([]byte, frameHeaderSize+payload)...)
+	p := dst[start+frameHeaderSize:]
+	p[0] = recordVersion
+	n := 1
+	n += binary.PutVarint(p[n:], r.T)
+	n += binary.PutUvarint(p[n:], uint64(len(r.Values)))
+	for _, v := range r.Values {
+		binary.LittleEndian.PutUint64(p[n:], math.Float64bits(v))
+		n += 8
+	}
+	dst = dst[:start+frameHeaderSize+n]
+	p = dst[start:]
+	binary.LittleEndian.PutUint32(p[0:4], uint32(n))
+	binary.LittleEndian.PutUint32(p[4:8], crc32.Checksum(p[frameHeaderSize:frameHeaderSize+n], castagnoli))
+	return dst
+}
+
+// DecodeRecord decodes the first frame of b. It returns the record and
+// the total frame size consumed. Errors wrap ErrTorn when b ends inside
+// the frame (a crash-truncated tail) and ErrCorrupt for structurally
+// invalid frames; it never reads past len(b) and never panics on
+// adversarial input (FuzzWALDecode holds it to that).
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < frameHeaderSize {
+		return Record{}, 0, fmt.Errorf("%w: %d header bytes of %d", ErrTorn, len(b), frameHeaderSize)
+	}
+	length := binary.LittleEndian.Uint32(b[0:4])
+	if length == 0 {
+		return Record{}, 0, fmt.Errorf("%w: zero-length payload", ErrCorrupt)
+	}
+	if length > MaxRecordBytes {
+		return Record{}, 0, fmt.Errorf("%w: length prefix %d exceeds the %d-byte record bound", ErrCorrupt, length, MaxRecordBytes)
+	}
+	if uint32(len(b)-frameHeaderSize) < length {
+		return Record{}, 0, fmt.Errorf("%w: %d payload bytes of %d", ErrTorn, len(b)-frameHeaderSize, length)
+	}
+	payload := b[frameHeaderSize : frameHeaderSize+int(length)]
+	if sum := crc32.Checksum(payload, castagnoli); sum != binary.LittleEndian.Uint32(b[4:8]) {
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if payload[0] != recordVersion {
+		return Record{}, 0, fmt.Errorf("%w: unknown record version %d", ErrCorrupt, payload[0])
+	}
+	p := payload[1:]
+	t, n := binary.Varint(p)
+	if n <= 0 {
+		return Record{}, 0, fmt.Errorf("%w: bad timestep varint", ErrCorrupt)
+	}
+	p = p[n:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return Record{}, 0, fmt.Errorf("%w: bad value-count varint", ErrCorrupt)
+	}
+	p = p[n:]
+	if uint64(len(p)) != 8*count {
+		return Record{}, 0, fmt.Errorf("%w: %d value bytes for %d values", ErrCorrupt, len(p), count)
+	}
+	values := make([]float64, count)
+	for i := range values {
+		values[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	return Record{T: t, Values: values}, frameHeaderSize + int(length), nil
+}

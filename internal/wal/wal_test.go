@@ -1,0 +1,255 @@
+package wal
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// mkRecord builds a deterministic record with a few awkward payloads
+// (NaN, negative zero, subnormal) so round-trip checks exercise bit
+// patterns plain equality would miss.
+func mkRecord(i int) Record {
+	return Record{
+		T: int64(i - 3), // negative timesteps exercise zigzag
+		Values: []float64{
+			float64(i) * 1.25,
+			math.NaN(),
+			math.Copysign(0, -1),
+			math.SmallestNonzeroFloat64 * float64(i+1),
+		},
+	}
+}
+
+// sameBits compares two rows as IEEE-754 bit patterns.
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf []byte
+	for i := 0; i < 10; i++ {
+		buf = AppendRecord(buf, mkRecord(i))
+	}
+	buf = AppendRecord(buf, Record{T: math.MaxInt64, Values: nil})
+	off, decoded := 0, 0
+	for off < len(buf) {
+		r, n, err := DecodeRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("decode at %d: %v", off, err)
+		}
+		if decoded < 10 {
+			want := mkRecord(decoded)
+			if r.T != want.T || !sameBits(r.Values, want.Values) {
+				t.Fatalf("record %d mismatch: got %+v want %+v", decoded, r, want)
+			}
+		} else if r.T != math.MaxInt64 || len(r.Values) != 0 {
+			t.Fatalf("sentinel record mismatch: %+v", r)
+		}
+		off += n
+		decoded++
+	}
+	if decoded != 11 {
+		t.Fatalf("decoded %d records, want 11", decoded)
+	}
+}
+
+func TestLogAppendScan(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := l.Append(mkRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := l.Scan(func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("scanned %d records, want %d", len(got), n)
+	}
+	for i, r := range got {
+		want := mkRecord(i)
+		if r.T != want.T || !sameBits(r.Values, want.Values) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	st := l.Stats()
+	if st.Records != n || st.Segments != 1 || st.QuarantinedBytes != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogRotationAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	frame := len(AppendRecord(nil, mkRecord(0)))
+	// Three records per segment, keep at most two segments.
+	l, err := Open(dir, Options{SegmentBytes: int64(3 * frame), Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := l.Append(mkRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments != 2 {
+		t.Fatalf("retained %d segments, want 2 (stats %+v)", st.Segments, st)
+	}
+	if st.Retired == 0 {
+		t.Fatalf("expected retired segments, stats %+v", st)
+	}
+	// The survivors must be the MOST RECENT records, contiguously.
+	var ts []int64
+	if err := l.Scan(func(r Record) error { ts = append(ts, r.T); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if int(st.Records) != len(ts) {
+		t.Fatalf("stats records %d vs scanned %d", st.Records, len(ts))
+	}
+	if ts[len(ts)-1] != mkRecord(n-1).T {
+		t.Fatalf("last retained record T=%d, want %d", ts[len(ts)-1], mkRecord(n-1).T)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] != ts[i-1]+1 {
+			t.Fatalf("retained records not contiguous: %v", ts)
+		}
+	}
+	// No retired files left on disk beyond the retained pair.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("disk holds %d files, want 2: %v", len(entries), entries)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogReopenAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(mkRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st := l2.Stats(); st.Records != 5 || st.QuarantinedBytes != 0 {
+		t.Fatalf("recovered stats %+v", st)
+	}
+	for i := 5; i < 8; i++ {
+		if err := l2.Append(mkRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	if err := l2.Scan(func(r Record) error {
+		if want := mkRecord(count); r.T != want.T {
+			t.Fatalf("record %d has T=%d, want %d", count, r.T, want.T)
+		}
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Fatalf("scanned %d records after reopen, want 8", count)
+	}
+}
+
+func TestOpenRejectsMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := l.Append(mkRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "seg-00000001.wal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the SECOND record: corruption before the
+	// tail must refuse to open, not silently drop the rest of the log.
+	frame := len(AppendRecord(nil, mkRecord(0)))
+	data[frame+frameHeaderSize+2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over mid-log corruption: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenRejectsTornNonFinalSegment(t *testing.T) {
+	dir := t.TempDir()
+	frame := len(AppendRecord(nil, mkRecord(0)))
+	l, err := Open(dir, Options{SegmentBytes: int64(2 * frame)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(mkRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail of the FIRST segment; only the final segment may be
+	// torn, so this must read as corruption.
+	path := filepath.Join(dir, "seg-00000001.wal")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over torn non-final segment: err=%v, want ErrCorrupt", err)
+	}
+}

@@ -5,7 +5,8 @@
 #
 #   ./verify.sh          # the standard gate
 #   ./verify.sh --deep   # additionally: fuzz smokes (CSV parser,
-#                        # stream ingest, rolling extractor), the serving
+#                        # stream ingest, rolling extractor, WAL record
+#                        # decoder), the serving
 #                        # benchmark against BENCH_4.json, the experiment-
 #                        # engine benchmark against BENCH_5.json, the
 #                        # raw-speed benchmark against BENCH_7.json, and
@@ -60,6 +61,9 @@ if [ "$deep" -eq 1 ]; then
   echo "== fuzz smoke: FuzzRollerEquivalence (10s)"
   go test -fuzz=FuzzRollerEquivalence -fuzztime=10s ./internal/features/rolling/
 
+  echo "== fuzz smoke: FuzzWALDecode (10s)"
+  go test -fuzz=FuzzWALDecode -fuzztime=10s ./internal/wal/
+
   echo "== serving benchmark vs BENCH_4.json (see docs/TESTING.md)"
   go run ./cmd/loadgen -selfcheck -duration 2s -trials 2 \
     -baseline BENCH_4.json -tolerance 0.20 -min-speedup 2.5
@@ -80,6 +84,7 @@ if [ "$deep" -eq 1 ]; then
 
   echo "== coverage floors vs coverage_baseline.txt"
   go test -cover ./internal/server/ ./internal/stream/ ./internal/active/ \
+    ./internal/wal/ ./internal/pipeline/ \
     > /tmp/albadross_cover.$$ 2>&1 || { cat /tmp/albadross_cover.$$; rm -f /tmp/albadross_cover.$$; exit 1; }
   cat /tmp/albadross_cover.$$
   awk '
