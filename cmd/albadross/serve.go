@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -82,6 +83,11 @@ func serve(args []string) {
 		walDir     = fs.String("wal-dir", "", "write-ahead window log directory (empty disables journaling and crash recovery)")
 		walSegment = fs.Int64("wal-segment", 1<<20, "WAL segment rotation size in bytes")
 		walRetain  = fs.Int("wal-retain", 0, "WAL segments retained per shard (0 keeps all)")
+
+		fleetOn    = fs.Bool("fleet", false, "fleet mode: POST /api/ingest/bulk multi-node batches onto the -ingest-shards workers plus /api/fleet rollup serving (see docs/FLEET.md)")
+		fleetQueue = fs.Int("fleet-queue-depth", 0, "per-shard bulk task queue bound; full queues shed with 429 + Retry-After (0 = 32)")
+		fleetNodes = fs.Int("fleet-max-nodes", 0, "node streams admitted per shard worker (0 = 1024)")
+		fleetTop   = fs.Int("fleet-recent", 0, "diagnosis windows per node in the rollup recency score (0 = 16)")
 	)
 	fs.Parse(args) //albacheck:ignore errsilent flag.ExitOnError: Parse exits the process on error, the return is dead
 	if *dataFile == "" {
@@ -112,7 +118,11 @@ func serve(args []string) {
 		schema []telemetry.Metric
 		ext    features.Extractor
 		ingest server.IngestConfig
+		flcfg  server.FleetConfig
 	)
+	if *fleetOn && *ingShards <= 0 {
+		fatal(fmt.Errorf("-fleet needs -ingest-shards (the bulk shard worker count)"))
+	}
 	if *ingShards > 0 {
 		if *ingMetrics <= 0 {
 			fatal(fmt.Errorf("-ingest-shards requires -ingest-metrics"))
@@ -136,6 +146,23 @@ func serve(args []string) {
 			WALDir:          *walDir,
 			WALSegmentBytes: *walSegment,
 			WALRetain:       *walRetain,
+		}
+		if *fleetOn {
+			// Fleet mode reuses the ingest geometry wholesale: the shard
+			// count becomes the bulk worker pool and each node's chain gets
+			// the same window, gap, and journaling configuration. Per-node
+			// WALs live under a subdirectory so a later switch back to
+			// per-shard ingest cannot collide with them.
+			flcfg = server.FleetConfig{
+				IngestConfig:     ingest,
+				QueueDepth:       *fleetQueue,
+				MaxNodesPerShard: *fleetNodes,
+				RollupRecent:     *fleetTop,
+			}
+			if *walDir != "" {
+				flcfg.WALDir = filepath.Join(*walDir, "fleet")
+			}
+			ingest = server.IngestConfig{}
 		}
 	}
 	srv, err := server.New(server.Config{
@@ -166,6 +193,7 @@ func serve(args []string) {
 		Schema:          schema,
 		Extractor:       ext,
 		Ingest:          ingest,
+		Fleet:           flcfg,
 	})
 	if err != nil {
 		fatal(err)

@@ -14,6 +14,19 @@
 // path, and either writes the report or compares it with a committed
 // baseline (non-zero exit on regression). verify.sh --deep runs the
 // comparison form.
+//
+// A third mode drives fleet-scale bulk ingest instead of diagnosis:
+//
+//	loadgen -addr http://127.0.0.1:8080 -fleet 128 -fleet-rows 8
+//
+// posts interleaved multi-node batches at POST /api/ingest/bulk on a
+// live fleet-mode server (per-node streams seeded deterministically,
+// 429 back-pressure folded into the accounting), and
+//
+//	loadgen -fleet 128 -fleet-selfcheck [-out fleet_load.json]
+//
+// runs the in-process single-row-vs-bulk fleet comparison that backs
+// the BENCH_6 load phases.
 package main
 
 import (
@@ -43,6 +56,13 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional regression vs the baseline")
 		minSpeed  = flag.Float64("min-speedup", 3.0, "required batched/serial throughput ratio")
 		quiet     = flag.Bool("q", false, "suppress progress logging")
+
+		fleetNodes  = flag.Int("fleet", 0, "drive bulk ingest across this many logical nodes instead of /api/diagnose")
+		fleetRows   = flag.Int("fleet-rows", 8, "readings per node per bulk batch")
+		fleetGroup  = flag.Int("fleet-nodes-per-req", 0, "nodes interleaved per batch; 0 = all of a worker's nodes")
+		fleetRetry  = flag.Bool("fleet-honor-retry", false, "sleep out Retry-After advice after a 429 instead of hammering")
+		fleetSelf   = flag.Bool("fleet-selfcheck", false, "run the in-process single-row-vs-bulk fleet benchmark")
+		fleetShards = flag.Int("fleet-shards", 4, "server ingest workers in fleet selfcheck mode")
 	)
 	flag.Parse()
 
@@ -50,6 +70,53 @@ func main() {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
 		}
+	}
+
+	if *fleetSelf {
+		report, err := loadgen.FleetSelfcheck(loadgen.FleetSelfcheckConfig{
+			Duration:    *duration,
+			Trials:      *trials,
+			Concurrency: *conc,
+			Nodes:       *fleetNodes,
+			Shards:      *fleetShards,
+			RowsPerNode: *fleetRows,
+			Seed:        *seed,
+		}, logf)
+		if err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			writeJSON(*out, report)
+			logf("wrote %s", *out)
+		} else {
+			emit(report)
+		}
+		return
+	}
+
+	if *fleetNodes > 0 {
+		if *addr == "" {
+			fmt.Fprintln(os.Stderr, "loadgen: -fleet live mode needs -addr (or add -fleet-selfcheck); see -h")
+			os.Exit(2)
+		}
+		res, err := loadgen.Fleet(loadgen.FleetConfig{
+			BaseURL:         *addr,
+			Duration:        *duration,
+			Concurrency:     *conc,
+			Nodes:           *fleetNodes,
+			RowsPerNode:     *fleetRows,
+			NodesPerRequest: *fleetGroup,
+			Seed:            *seed,
+			HonorRetry:      *fleetRetry,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		emit(res)
+		if res.Errors > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *selfcheck {
@@ -64,13 +131,7 @@ func main() {
 			fatal(err)
 		}
 		if *out != "" {
-			raw, err := json.MarshalIndent(report, "", "  ")
-			if err != nil {
-				fatal(err)
-			}
-			if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
-				fatal(err)
-			}
+			writeJSON(*out, report)
 			logf("wrote %s", *out)
 		}
 		if *baseline != "" {
@@ -110,6 +171,17 @@ func main() {
 	emit(res)
 	if res.Errors > 0 {
 		os.Exit(1)
+	}
+}
+
+// writeJSON persists a report as indented JSON, fatal on failure.
+func writeJSON(path string, v interface{}) {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		fatal(err)
 	}
 }
 

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"albadross/internal/loadgen"
+)
+
+// passingBench6 is a report that satisfies every gate against itself.
+func passingBench6() *Bench6Report {
+	scale := func(nodes int, speedup float64) loadgen.FleetLoadReport {
+		return loadgen.FleetLoadReport{
+			Nodes: nodes, Shards: 4, Speedup: speedup,
+			Single: &loadgen.FleetResult{Result: loadgen.Result{RowsPerSec: 20000}},
+			Bulk:   &loadgen.FleetResult{Result: loadgen.Result{RowsPerSec: 20000 * speedup}},
+		}
+	}
+	r := &Bench6Report{SchemaVersion: 1, GoMaxProcs: 1}
+	r.Scale = []loadgen.FleetLoadReport{scale(16, 3.0), scale(64, 4.5), scale(256, 6.0)}
+	r.Demux = FleetDemuxBench{
+		SmallNodes: 8, SmallRows: 4, LargeNodes: 256, LargeRows: 8, NsPerRowLarge: 40,
+	}
+	r.Overload = FleetOverloadBench{
+		Offered: 640, Accepted: 400, Shed: 240,
+		AccountingIdentity: true, ShedBounded: true, RetryHinted: true, ClosedCleanly: true,
+	}
+	r.Recovery = FleetRecoveryBench{NodesCompared: 24, TopKBitwise: true, NodesBitwise: true}
+	r.Rollup = FleetRollupInvariance{ShardCounts: []int{3, 5}, TopKBitwise: true, AppsBitwise: true}
+	return r
+}
+
+// TestCompareBench6 exercises the gate's pass and fail paths.
+func TestCompareBench6(t *testing.T) {
+	base := passingBench6()
+	if bad := CompareBench6(passingBench6(), base, 0.2, 2.0); len(bad) != 0 {
+		t.Fatalf("self-comparison should pass, got %v", bad)
+	}
+	cases := []struct {
+		name  string
+		mut   func(r *Bench6Report)
+		gripe string
+	}{
+		{"64-node speedup below floor", func(r *Bench6Report) { r.Scale[1].Speedup = 1.5 }, "below the 2.00x floor"},
+		{"top-scale regressed vs baseline", func(r *Bench6Report) { r.Scale[2].Speedup = 2.1 }, "regressed"},
+		{"demux allocates", func(r *Bench6Report) { r.Demux.LargeAllocsPerOp = 3 }, "demux Split allocates"},
+		{"accounting leak", func(r *Bench6Report) { r.Overload.AccountingIdentity = false }, "accounting leaked"},
+		{"no partial accept", func(r *Bench6Report) { r.Overload.ShedBounded = false }, "partial accept"},
+		{"no retry hint", func(r *Bench6Report) { r.Overload.RetryHinted = false }, "Retry-After"},
+		{"close errored", func(r *Bench6Report) { r.Overload.ClosedCleanly = false }, "Close errored"},
+		{"recovery diverged", func(r *Bench6Report) { r.Recovery.TopKBitwise = false }, "recovery is not bitwise"},
+		{"rollup shard-variant", func(r *Bench6Report) { r.Rollup.AppsBitwise = false }, "differ across"},
+	}
+	for _, tc := range cases {
+		fresh := passingBench6()
+		tc.mut(fresh)
+		bad := CompareBench6(fresh, base, 0.2, 2.0)
+		if len(bad) == 0 {
+			t.Fatalf("%s: expected a violation", tc.name)
+		}
+		found := false
+		for _, b := range bad {
+			if strings.Contains(b, tc.gripe) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: violations %v do not mention %q", tc.name, bad, tc.gripe)
+		}
+	}
+}
+
+// TestBench6CorrectnessSections runs the fast, load-invariant halves of
+// the benchmark — demux allocations, overload flow control, WAL
+// recovery, rollup shard invariance — end to end. The scale phases are
+// exercised by the loadgen package and verify.sh --deep.
+func TestBench6CorrectnessSections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins real fleet servers")
+	}
+	db, err := runDemuxBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.SmallAllocsPerOp != 0 || db.LargeAllocsPerOp != 0 {
+		t.Fatalf("warmed demux allocates: %+v", db)
+	}
+	ob, err := runOverloadBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ob.AccountingIdentity || !ob.ShedBounded || !ob.RetryHinted || !ob.ClosedCleanly {
+		t.Fatalf("overload contract broke: %+v", ob)
+	}
+	cfg := Bench6Config{Seed: 9, Duration: time.Second}
+	rb, err := runRecoveryBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rb.TopKBitwise || !rb.NodesBitwise || rb.NodesCompared == 0 {
+		t.Fatalf("recovery not bitwise: %+v", rb)
+	}
+	ri, err := runRollupInvariance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ri.TopKBitwise || !ri.AppsBitwise {
+		t.Fatalf("rollup artifacts shard-variant: %+v", ri)
+	}
+}

@@ -432,12 +432,12 @@ type bench4Doc struct {
 }
 
 // TrajectoryMarkdown renders the README "performance trajectory" table
-// from the committed BENCH_4.json and a BENCH_7 report (freshly
-// measured or loaded from disk). The two rows are not the same rig —
-// BENCH_4 times the HTTP serving path on pointer trees, BENCH_7 the
-// in-process flattened batch and rolling stream — so each row names
-// what it measured; the comparable column is forest ns/row.
-func TrajectoryMarkdown(bench4Path string, b7 *Bench7Report) (string, error) {
+// from the committed BENCH_4.json, a BENCH_7 report, and (when
+// non-nil) a BENCH_6 report. The rows are not the same rig — BENCH_4
+// times the HTTP serving path on pointer trees, BENCH_7 the in-process
+// flattened batch and rolling stream, BENCH_6 the fleet bulk-ingest
+// HTTP path — so each row names what it measured.
+func TrajectoryMarkdown(bench4Path string, b7 *Bench7Report, b6 *Bench6Report) (string, error) {
 	raw, err := os.ReadFile(bench4Path)
 	if err != nil {
 		return "", err
@@ -457,6 +457,15 @@ func TrajectoryMarkdown(bench4Path string, b7 *Bench7Report) (string, error) {
 		b4.Micro.BatchNsPerRow, b4Speed, b4.Batched.RowsPerSec)...)
 	sb = append(sb, fmt.Sprintf("| BENCH_7 | %.0f | %.2fx | %.0f | in-process flat SoA batch + rolling stream (%d-metric readings) |\n",
 		b7.Forest.FlatNsPerRow, b7.Forest.Speedup, b7.Stream.RollingRowsPerSec, b7.Stream.Metrics)...)
+	if b6 != nil && len(b6.Scale) > 0 {
+		top := b6.Scale[len(b6.Scale)-1]
+		rows := 0.0
+		if top.Bulk != nil {
+			rows = top.Bulk.RowsPerSec
+		}
+		sb = append(sb, fmt.Sprintf("| BENCH_6 | — | %.2fx bulk vs single-row | %.0f | HTTP `/api/ingest/bulk`, %d nodes on %d shard workers |\n",
+			top.Speedup, rows, top.Nodes, top.Shards)...)
+	}
 	return string(sb), nil
 }
 

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"albadross/internal/loadgen"
 )
 
 // passingBench7 is a report that satisfies every gate against itself.
@@ -81,7 +83,7 @@ func TestTrajectoryMarkdown(t *testing.T) {
 	if err := os.WriteFile(b4, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	table, err := TrajectoryMarkdown(b4, passingBench7())
+	table, err := TrajectoryMarkdown(b4, passingBench7(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,23 @@ func TestTrajectoryMarkdown(t *testing.T) {
 			t.Fatalf("trajectory table missing %q:\n%s", want, table)
 		}
 	}
-	if _, err := TrajectoryMarkdown(filepath.Join(dir, "missing.json"), passingBench7()); err == nil {
+	if strings.Contains(table, "BENCH_6") {
+		t.Fatalf("nil BENCH_6 report should omit the fleet row:\n%s", table)
+	}
+	b6 := &Bench6Report{Scale: []loadgen.FleetLoadReport{{
+		Nodes: 256, Shards: 4, Speedup: 5.5,
+		Bulk: &loadgen.FleetResult{Result: loadgen.Result{RowsPerSec: 180000}},
+	}}}
+	table, err = TrajectoryMarkdown(b4, passingBench7(), b6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"| BENCH_6 |", "5.50x", "180000", "256 nodes"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("trajectory table missing %q:\n%s", want, table)
+		}
+	}
+	if _, err := TrajectoryMarkdown(filepath.Join(dir, "missing.json"), passingBench7(), nil); err == nil {
 		t.Fatal("missing BENCH_4.json should error")
 	}
 }

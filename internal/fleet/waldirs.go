@@ -1,0 +1,46 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// nodeDirPrefix names per-node WAL directories under a fleet WAL root.
+const nodeDirPrefix = "node-"
+
+// NodeWALDir is the canonical per-node write-ahead-log directory under
+// a fleet WAL root. Node factories that journal should open their logs
+// here so ListNodeWALs can find them again after a crash.
+func NodeWALDir(root string, node int) string {
+	return filepath.Join(root, fmt.Sprintf("%s%06d", nodeDirPrefix, node))
+}
+
+// ListNodeWALs scans a fleet WAL root for per-node log directories and
+// returns their node ids, ascending — the Preload set for a recovering
+// coordinator. A missing root is an empty fleet, not an error.
+func ListNodeWALs(root string) ([]int, error) {
+	entries, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var nodes []int
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), nodeDirPrefix) {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimPrefix(e.Name(), nodeDirPrefix))
+		if err != nil {
+			continue // not a node directory
+		}
+		nodes = append(nodes, id)
+	}
+	sort.Ints(nodes)
+	return nodes, nil
+}

@@ -1,0 +1,220 @@
+// Fleet selfcheck: the reproducible half of BENCH_6.json. It spins up
+// the real annotation server in fleet mode on a loopback listener and
+// measures the single-row ingest baseline (one node, one reading per
+// request) against bulk multi-node batches on the same node population
+// and worker fleet. verify.sh --deep re-runs the measurement and gates
+// on load-invariant signals via experiments.CompareBench6.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"time"
+
+	"albadross/internal/active"
+	"albadross/internal/dataset"
+	"albadross/internal/features"
+	"albadross/internal/features/mvts"
+	"albadross/internal/ml/forest"
+	"albadross/internal/server"
+	"albadross/internal/telemetry"
+	"albadross/internal/ts"
+)
+
+// FleetMetrics is the raw telemetry width of the fleet bench server's
+// schema; bulk rows posted at it must carry exactly this many values.
+const FleetMetrics = 3
+
+// NewFleetBenchServer builds the synthetic fleet-mode annotation server
+// the benchmark drives: a 3-metric schema, an mvts feature space, a
+// cheap deterministic forest, and the caller's fleet geometry. Zeroed
+// window geometry defaults to Window 16 / Stride 16. The same
+// constructor serves the load phases here and the overload, recovery,
+// and rollup-invariance gates in internal/experiments — one server
+// shape across every BENCH_6 measurement.
+func NewFleetBenchServer(seed int64, fc server.FleetConfig) (*server.Server, error) {
+	if fc.Shards <= 0 {
+		fc.Shards = 4
+	}
+	if fc.Window == 0 {
+		fc.Window = 16
+	}
+	if fc.Stride == 0 {
+		fc.Stride = fc.Window
+	}
+	schema := []telemetry.Metric{{Name: "cpu.user"}, {Name: "mem.active"}, {Name: "net.rx"}}
+	ext := mvts.Extractor{}
+	classes := []string{"healthy", "cpuoccupy", "memleak"}
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(classes)
+	for i := 0; i < 120; i++ {
+		label := i % len(classes)
+		block := &ts.Multivariate{Metrics: make([]ts.Series, len(schema))}
+		for m := range block.Metrics {
+			level := 1.0
+			if label > 0 && m == label-1 {
+				level = 6.0
+			}
+			s := make(ts.Series, 32)
+			for j := range s {
+				s[j] = level + 0.1*rng.NormFloat64()
+			}
+			block.Metrics[m] = s
+		}
+		vec := features.ExtractSample(ext, block)
+		features.Sanitize(vec)
+		if err := d.Add(vec, classes[label], telemetry.RunMeta{App: "BT", Node: i % 8}); err != nil {
+			return nil, err
+		}
+	}
+	split, err := dataset.MakeALSplit(d, dataset.ALSplitConfig{
+		TestFraction: 0.3, AnomalyRatio: 0.34, HealthyClass: 0, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Label the whole pool up front so repeated constructions train the
+	// identical champion — the recovery gate compares rollups across a
+	// restart and depends on it.
+	split.Initial = append(split.Initial, split.Pool...)
+	split.Pool = nil
+	return server.New(server.Config{
+		Data:      d,
+		Split:     split,
+		Factory:   forest.NewFactory(forest.Config{NEstimators: 10, MaxDepth: 6, Seed: seed}),
+		Strategy:  active.Uncertainty{},
+		Seed:      seed + 7,
+		Schema:    schema,
+		Extractor: ext,
+		Fleet:     fc,
+	})
+}
+
+// FleetSelfcheckConfig sizes the fleet benchmark's load phases.
+type FleetSelfcheckConfig struct {
+	// Duration of each load phase per trial.
+	Duration time.Duration
+	// Trials per phase; the best trial is reported.
+	Trials int
+	// Concurrency is the client fleet size for both phases.
+	Concurrency int
+	// Nodes is the logical node population.
+	Nodes int
+	// Shards is the server's ingest worker count.
+	Shards int
+	// RowsPerNode is the per-node reading count per bulk batch (the
+	// single phase is always one node, one reading per request).
+	RowsPerNode int
+	// Seed drives the synthetic training data and traffic.
+	Seed int64
+}
+
+// FleetLoadReport holds the two fleet load phases at one node count.
+type FleetLoadReport struct {
+	// Nodes and Shards record the geometry measured.
+	Nodes  int `json:"nodes"`
+	Shards int `json:"shards"`
+	// Single is the one-node-one-reading baseline; Bulk is the
+	// interleaved multi-node batch phase; Speedup is bulk/single
+	// accepted rows-per-second.
+	Single  *FleetResult `json:"single"`
+	Bulk    *FleetResult `json:"bulk"`
+	Speedup float64      `json:"speedup"`
+}
+
+// runFleetPhase measures one request shape, returning the best of
+// cfg.Trials runs by accepted rows-per-second. Each trial gets a fresh
+// server: the generator restarts per-node timestamps at zero, and a
+// reused server would reject the repeats as duplicates.
+func runFleetPhase(cfg FleetSelfcheckConfig, nodesPerRequest, rowsPerNode int) (*FleetResult, error) {
+	var best *FleetResult
+	for t := 0; t < cfg.Trials; t++ {
+		res, err := func() (*FleetResult, error) {
+			srv, err := NewFleetBenchServer(cfg.Seed, server.FleetConfig{
+				IngestConfig: server.IngestConfig{Shards: cfg.Shards},
+			})
+			if err != nil {
+				return nil, err
+			}
+			defer srv.Close()
+			hts := httptest.NewServer(srv.Handler())
+			defer hts.Close()
+			return Fleet(FleetConfig{
+				BaseURL:         hts.URL,
+				Duration:        cfg.Duration,
+				Concurrency:     cfg.Concurrency,
+				Nodes:           cfg.Nodes,
+				RowsPerNode:     rowsPerNode,
+				NodesPerRequest: nodesPerRequest,
+				Metrics:         FleetMetrics,
+				Seed:            cfg.Seed + int64(t),
+			})
+		}()
+		if err != nil {
+			return nil, err
+		}
+		if res.Errors > 0 {
+			return nil, fmt.Errorf("loadgen: %d of %d fleet requests failed", res.Errors, res.Requests)
+		}
+		if res.RejectedRows > 0 {
+			return nil, fmt.Errorf("loadgen: server rejected %d fleet rows", res.RejectedRows)
+		}
+		if best == nil || res.RowsPerSec > best.RowsPerSec {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// FleetSelfcheck measures both fleet load phases and returns the
+// report for one node count.
+func FleetSelfcheck(cfg FleetSelfcheckConfig, logf func(string, ...interface{})) (*FleetLoadReport, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 64
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.RowsPerNode <= 0 {
+		cfg.RowsPerNode = 8
+	}
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+
+	logf("fleet phase single: %d nodes, 1 row/request, %d clients, %s x %d trials",
+		cfg.Nodes, cfg.Concurrency, cfg.Duration, cfg.Trials)
+	single, err := runFleetPhase(cfg, 1, 1)
+	if err != nil {
+		return nil, fmt.Errorf("single phase: %w", err)
+	}
+	logf("fleet phase single: %.0f rows/s accepted, p50 %.2fms p99 %.2fms",
+		single.RowsPerSec, single.P50Ms, single.P99Ms)
+
+	logf("fleet phase bulk: %d nodes, %d rows/node interleaved, %d clients, %s x %d trials",
+		cfg.Nodes, cfg.RowsPerNode, cfg.Concurrency, cfg.Duration, cfg.Trials)
+	bulk, err := runFleetPhase(cfg, 0, cfg.RowsPerNode)
+	if err != nil {
+		return nil, fmt.Errorf("bulk phase: %w", err)
+	}
+	logf("fleet phase bulk: %.0f rows/s accepted, p50 %.2fms p99 %.2fms",
+		bulk.RowsPerSec, bulk.P50Ms, bulk.P99Ms)
+
+	report := &FleetLoadReport{Nodes: cfg.Nodes, Shards: cfg.Shards, Single: single, Bulk: bulk}
+	if single.RowsPerSec > 0 {
+		report.Speedup = bulk.RowsPerSec / single.RowsPerSec
+	}
+	logf("fleet speedup at %d nodes: %.2fx (bulk %.0f vs single %.0f rows/s)",
+		cfg.Nodes, report.Speedup, bulk.RowsPerSec, single.RowsPerSec)
+	return report, nil
+}

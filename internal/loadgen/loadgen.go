@@ -72,29 +72,51 @@ type Result struct {
 	MaxMs float64 `json:"max_ms"`
 }
 
-// schemaPayload is the subset of /api/schema the generator needs.
+// schemaPayload is the subset of /api/schema the generators need.
 type schemaPayload struct {
-	FeatureDim int `json:"feature_dim"`
+	FeatureDim int      `json:"feature_dim"`
+	Metrics    []string `json:"metrics"`
+}
+
+// fetchSchema retrieves the server's diagnosis contract — the one
+// discovery call both the diagnose and the fleet generators build on.
+func fetchSchema(client *http.Client, baseURL string) (schemaPayload, error) {
+	var s schemaPayload
+	resp, err := client.Get(baseURL + "/api/schema")
+	if err != nil {
+		return s, err
+	}
+	defer func() { _ = resp.Body.Close() }() //albacheck:ignore errsilent read-only GET; a close failure cannot invalidate the decoded payload
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("GET /api/schema: status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&s)
+	return s, err
 }
 
 // FetchDim asks a running server for its feature width via /api/schema.
 func FetchDim(client *http.Client, baseURL string) (int, error) {
-	resp, err := client.Get(baseURL + "/api/schema")
+	s, err := fetchSchema(client, baseURL)
 	if err != nil {
-		return 0, err
-	}
-	defer func() { _ = resp.Body.Close() }() //albacheck:ignore errsilent read-only GET; a close failure cannot invalidate the decoded payload
-	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("GET /api/schema: status %d", resp.StatusCode)
-	}
-	var s schemaPayload
-	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
 		return 0, err
 	}
 	if s.FeatureDim <= 0 {
 		return 0, fmt.Errorf("schema reports feature_dim %d", s.FeatureDim)
 	}
 	return s.FeatureDim, nil
+}
+
+// FetchMetrics asks a running server for its raw telemetry width (the
+// metric count bulk-ingest rows must carry) via /api/schema.
+func FetchMetrics(client *http.Client, baseURL string) (int, error) {
+	s, err := fetchSchema(client, baseURL)
+	if err != nil {
+		return 0, err
+	}
+	if len(s.Metrics) == 0 {
+		return 0, errors.New("schema reports no raw metrics (window mode is off)")
+	}
+	return len(s.Metrics), nil
 }
 
 // worker state: one request loop's latency samples and counts.
@@ -169,8 +191,13 @@ func Run(cfg Config) (*Result, error) {
 		}(w)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	return mergeStats(stats, time.Since(start))
+}
 
+// mergeStats folds per-worker request loops into one Result: summed
+// counts, one merged latency population, percentile math. Shared by
+// the diagnose and fleet drivers so the two report identically.
+func mergeStats(stats []workerStats, elapsed time.Duration) (*Result, error) {
 	res := &Result{ElapsedSec: elapsed.Seconds()}
 	var all []time.Duration
 	for i := range stats {
@@ -182,13 +209,12 @@ func Run(cfg Config) (*Result, error) {
 	if res.Requests == 0 {
 		return nil, errors.New("loadgen: no requests completed within the duration")
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	res.RequestsPerSec = float64(res.Requests) / res.ElapsedSec
 	res.RowsPerSec = float64(res.Rows) / res.ElapsedSec
 	res.P50Ms = Percentile(all, 0.50).Seconds() * 1e3
 	res.P90Ms = Percentile(all, 0.90).Seconds() * 1e3
 	res.P99Ms = Percentile(all, 0.99).Seconds() * 1e3
-	res.MaxMs = all[len(all)-1].Seconds() * 1e3
+	res.MaxMs = Percentile(all, 1).Seconds() * 1e3
 	return res, nil
 }
 
@@ -238,36 +264,36 @@ func post(client *http.Client, url string, body []byte) bool {
 	if err != nil {
 		return false
 	}
-	var sink [512]byte
-	for {
-		if _, err := resp.Body.Read(sink[:]); err != nil {
-			break
-		}
-	}
+	drainBody(resp)
 	if err := resp.Body.Close(); err != nil {
 		return false
 	}
 	return resp.StatusCode == http.StatusOK
 }
 
-// Percentile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
-// latency population using nearest-rank interpolation. An empty
-// population yields 0.
-func Percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
+// Percentile returns the q-quantile (0 <= q <= 1) of a latency
+// population using nearest-rank interpolation. The population is
+// sorted in place on first use when it is not already ascending, so
+// callers need not pre-sort; repeated calls over the same slice pay
+// only an O(n) check. An empty population yields 0.
+func Percentile(lat []time.Duration, q float64) time.Duration {
+	if len(lat) == 0 {
 		return 0
 	}
+	if !sort.SliceIsSorted(lat, func(i, j int) bool { return lat[i] < lat[j] }) {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	}
 	if q <= 0 {
-		return sorted[0]
+		return lat[0]
 	}
 	if q >= 1 {
-		return sorted[len(sorted)-1]
+		return lat[len(lat)-1]
 	}
-	pos := q * float64(len(sorted)-1)
+	pos := q * float64(len(lat)-1)
 	lo := int(pos)
 	frac := pos - float64(lo)
-	if lo+1 >= len(sorted) {
-		return sorted[len(sorted)-1]
+	if lo+1 >= len(lat) {
+		return lat[len(lat)-1]
 	}
-	return sorted[lo] + time.Duration(frac*float64(sorted[lo+1]-sorted[lo]))
+	return lat[lo] + time.Duration(frac*float64(lat[lo+1]-lat[lo]))
 }

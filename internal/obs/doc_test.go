@@ -17,6 +17,7 @@ import (
 	_ "albadross/internal/active"
 	_ "albadross/internal/drift"
 	_ "albadross/internal/features"
+	_ "albadross/internal/fleet"
 	_ "albadross/internal/ldms"
 	_ "albadross/internal/ml"
 	_ "albadross/internal/ml/forest"

@@ -110,10 +110,12 @@ type ingestState struct {
 // included). During WAL recovery it flips to a direct snapshot
 // classification — same model, same probabilities, zero lifecycle
 // side effects — so replay rebuilds stream state without double-feeding
-// evidence.
+// evidence. evidence points at the owning stream's running fingerprint
+// (an ingest shard's, or a fleet node's); only the stream's single
+// writer touches it.
 type servePredict struct {
 	s          *Server
-	shard      *ingestShard
+	evidence   *uint64
 	recovering bool
 }
 
@@ -132,24 +134,25 @@ func (p *servePredict) Predict(vec []float64) (string, float64, error) {
 		probs := ml.ProbaBatchParallel(sn.model, [][]float64{row}, p.s.cfg.BatchWorkers)
 		best := ml.Argmax(probs[0])
 		label := sn.classes[best]
-		p.shard.evidence = evidenceFold(p.shard.evidence, row, label)
+		*p.evidence = evidenceFold(*p.evidence, row, label)
 		return label, probs[0][best], nil
 	}
 	resp, err := p.s.DiagnoseVectors([][]float64{row})
 	if err != nil {
 		return "", 0, err
 	}
-	p.shard.evidence = evidenceFold(p.shard.evidence, row, resp[0].Label)
+	*p.evidence = evidenceFold(*p.evidence, row, resp[0].Label)
 	return resp[0].Label, resp[0].Confidence, nil
 }
 
-// buildFeatureStage derives the shard feature stage from the server's
-// window-mode configuration.
-func (s *Server) buildFeatureStage() (pipeline.FeatureStage, error) {
-	if s.cfg.Ingest.Rolling {
-		return pipeline.NewRollingFeatures(s.cfg.Extractor, s.cfg.Schema, s.cfg.Ingest.Window, s.cfg.Ingest.Gap)
+// buildFeatureStage derives a stream feature stage from one ingest
+// geometry (the per-shard /api/ingest config, or the fleet's embedded
+// copy) and the server's window-mode schema.
+func (s *Server) buildFeatureStage(cfg IngestConfig) (pipeline.FeatureStage, error) {
+	if cfg.Rolling {
+		return pipeline.NewRollingFeatures(s.cfg.Extractor, s.cfg.Schema, cfg.Window, cfg.Gap)
 	}
-	return pipeline.BatchFeatures{Schema: s.cfg.Schema, Gap: s.cfg.Ingest.Gap, Extractor: s.cfg.Extractor}, nil
+	return pipeline.BatchFeatures{Schema: s.cfg.Schema, Gap: cfg.Gap, Extractor: s.cfg.Extractor}, nil
 }
 
 // newIngest validates the configuration, builds one chain per shard,
@@ -180,7 +183,7 @@ func newIngest(s *Server) (*ingestState, error) {
 	ing := &ingestState{s: s, cfg: cfg}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &ingestShard{sink: &shardSink{keep: cfg.KeepDiagnoses}}
-		sh.predict = &servePredict{s: s, shard: sh}
+		sh.predict = &servePredict{s: s, evidence: &sh.evidence}
 		if cfg.WALDir != "" {
 			l, err := wal.Open(filepath.Join(cfg.WALDir, fmt.Sprintf("shard-%04d", i)), wal.Options{
 				SegmentBytes: cfg.WALSegmentBytes,
@@ -192,7 +195,7 @@ func newIngest(s *Server) (*ingestState, error) {
 			}
 			sh.log = l
 		}
-		feat, err := s.buildFeatureStage()
+		feat, err := s.buildFeatureStage(cfg)
 		if err != nil {
 			ing.closeLogs()
 			return nil, err
@@ -469,7 +472,7 @@ func (s *Server) ReplayShadowEvidence(shard int) (int, uint64, error) {
 	if sh.log == nil {
 		return 0, 0, errors.New("server: shard has no write-ahead log")
 	}
-	feat, err := s.buildFeatureStage()
+	feat, err := s.buildFeatureStage(s.cfg.Ingest)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -14,6 +14,11 @@
 //	POST /api/ingest   -> stream timestamped raw readings through the
 //	                      per-shard stage chains (Config.Ingest), with
 //	                      write-ahead journaling and crash recovery
+//	POST /api/ingest/bulk -> interleaved multi-node batches routed onto
+//	                      the fleet shard workers (Config.Fleet), with
+//	                      back-pressure (429 + Retry-After) on overload
+//	GET  /api/fleet/topk  -> most-anomalous nodes from the fleet rollup
+//	GET  /api/fleet/apps  -> per-application fleet aggregates
 //	GET  /api/health   -> liveness/readiness probe
 //	GET  /api/metrics  -> obs registry snapshot (JSON, or the Prometheus
 //	                      text exposition with ?format=prometheus)
@@ -157,6 +162,14 @@ type Config struct {
 	// Ingest.Shards > 0; requires Schema and Extractor (plus Prep when
 	// the model was trained on transformed vectors).
 	Ingest IngestConfig
+
+	// Fleet enables fleet-scale bulk ingest (POST /api/ingest/bulk and
+	// the /api/fleet/* rollup endpoints): the whole node population
+	// consistent-hashed onto Fleet.Shards shard workers, with bounded
+	// queues and explicit back-pressure (see fleet.go and
+	// docs/FLEET.md). Active when Fleet.Shards > 0; same window-mode
+	// prerequisites as Ingest.
+	Fleet FleetConfig
 }
 
 // snapshot is the immutable serving state behind the RCU pointer: one
@@ -179,6 +192,7 @@ type Server struct {
 	batch     *batcher
 	lc        *lifecycle   // nil unless Config.Lifecycle
 	ing       *ingestState // nil unless Config.Ingest.Shards > 0
+	fl        *fleetState  // nil unless Config.Fleet.Shards > 0
 	lastTrain atomic.Int64 // unix seconds of the last successful publication
 
 	// refX is the drift monitor's reference: the training universe
@@ -314,6 +328,16 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.ing = ing
 	}
+	if cfg.Fleet.Shards > 0 {
+		// Same ordering rationale as ingest: preloaded fleet nodes replay
+		// their WALs through the serving path at construction.
+		fl, err := newFleet(s)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.fl = fl
+	}
 	return s, nil
 }
 
@@ -331,6 +355,11 @@ func (s *Server) Close() {
 	}
 	if s.ing != nil {
 		s.ing.closeLogs()
+	}
+	if s.fl != nil {
+		if err := s.fl.coord.Close(); err != nil {
+			s.cfg.Log.Printf("server: closing fleet coordinator: %v", err)
+		}
 	}
 }
 
@@ -562,6 +591,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/status", s.instrument("/api/status", s.handleStatus))
 	mux.HandleFunc("/api/diagnose", s.instrument("/api/diagnose", s.handleDiagnose))
 	mux.HandleFunc("/api/ingest", s.instrument("/api/ingest", s.handleIngest))
+	mux.HandleFunc("/api/ingest/bulk", s.instrument("/api/ingest/bulk", s.handleIngestBulk))
+	mux.HandleFunc("/api/fleet/topk", s.instrument("/api/fleet/topk", s.handleFleetTopK))
+	mux.HandleFunc("/api/fleet/apps", s.instrument("/api/fleet/apps", s.handleFleetApps))
 	mux.HandleFunc("/api/schema", s.instrument("/api/schema", s.handleSchema))
 	mux.HandleFunc("/api/health", s.instrument("/api/health", s.handleHealth))
 	mux.HandleFunc("/api/model", s.instrument("/api/model", s.handleModel))
@@ -882,6 +914,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.ing != nil {
 		body["ingest"] = s.ing.health()
+	}
+	if s.fl != nil {
+		body["fleet"] = s.fl.health()
 	}
 	writeJSON(w, code, body)
 }

@@ -9,9 +9,10 @@
 #                        # decoder), the serving
 #                        # benchmark against BENCH_4.json, the experiment-
 #                        # engine benchmark against BENCH_5.json, the
-#                        # raw-speed benchmark against BENCH_7.json, and
-#                        # the coverage floor gate against
-#                        # coverage_baseline.txt
+#                        # fleet-scale ingest benchmark against
+#                        # BENCH_6.json, the raw-speed benchmark against
+#                        # BENCH_7.json, and the coverage floor gate
+#                        # against coverage_baseline.txt
 set -eu
 
 deep=0
@@ -82,9 +83,19 @@ if [ "$deep" -eq 1 ]; then
     -bench7-baseline BENCH_7.json -bench-tolerance 0.20 -bench7-min-speedup 3.0 \
     ${BENCH7_OUT:+-bench7-out "$BENCH7_OUT"}
 
+  echo "== fleet-scale ingest benchmark vs BENCH_6.json (see docs/FLEET.md)"
+  # Gates the ISSUE 10 contracts: bulk-vs-single ingest speedup >= 2x
+  # at 64+ nodes (same-run ratio), zero-alloc warmed demux, bounded
+  # shed with intact accounting and a Retry-After hint under overload,
+  # bitwise WAL recovery, shard-count-invariant rollup artifacts.
+  # BENCH6_OUT (used by CI) writes the fresh report for artifact upload.
+  go run ./cmd/experiments -bench6 -bench-trials 2 \
+    -bench6-baseline BENCH_6.json -bench-tolerance 0.20 -bench6-min-speedup 2.0 \
+    ${BENCH6_OUT:+-bench6-out "$BENCH6_OUT"}
+
   echo "== coverage floors vs coverage_baseline.txt"
   go test -cover ./internal/server/ ./internal/stream/ ./internal/active/ \
-    ./internal/wal/ ./internal/pipeline/ \
+    ./internal/wal/ ./internal/pipeline/ ./internal/fleet/ ./internal/loadgen/ \
     > /tmp/albadross_cover.$$ 2>&1 || { cat /tmp/albadross_cover.$$; rm -f /tmp/albadross_cover.$$; exit 1; }
   cat /tmp/albadross_cover.$$
   awk '
